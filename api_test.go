@@ -1,0 +1,98 @@
+package sdpcm_test
+
+import (
+	"math"
+	"testing"
+
+	"sdpcm"
+)
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	cfg := sdpcm.SimConfig{
+		Mix:         sdpcm.HomogeneousMix("lbm", 4),
+		RefsPerCore: 2500,
+		MemPages:    1 << 16,
+		RegionPages: 1024,
+		Seed:        5,
+	}
+	cfg.Scheme = sdpcm.Baseline()
+	base, err := sdpcm.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Scheme = sdpcm.LazyCPreRead(sdpcm.DefaultECPEntries)
+	sd, err := sdpcm.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := sdpcm.Speedup(base, sd); s <= 1.0 {
+		t.Fatalf("SD-PCM speedup = %v, must beat baseline", s)
+	}
+}
+
+func TestPublicBenchmarksList(t *testing.T) {
+	names := sdpcm.Benchmarks()
+	if len(names) != 9 {
+		t.Fatalf("Benchmarks() = %v, want the 9 Table 3 apps", names)
+	}
+	spec, err := sdpcm.WorkloadByName("mcf")
+	if err != nil || spec.WPKI != 20.47 {
+		t.Fatalf("WorkloadByName(mcf) = %+v, %v", spec, err)
+	}
+}
+
+func TestPublicDisturbanceRates(t *testing.T) {
+	wl, bl := sdpcm.DisturbanceRates(sdpcm.SuperDense)
+	if math.Abs(wl-0.099) > 1e-3 || math.Abs(bl-0.115) > 1e-3 {
+		t.Fatalf("super dense rates = %v/%v", wl, bl)
+	}
+	if _, bl := sdpcm.DisturbanceRates(sdpcm.DINEnhanced); bl != 0 {
+		t.Fatal("DIN layout must be bit-line WD-free")
+	}
+	if wl, _ := sdpcm.DisturbanceRatesAt(2, 2, 54); wl > 0.001 {
+		t.Fatal("54nm must be effectively WD-free")
+	}
+}
+
+func TestPublicCapacityComparison(t *testing.T) {
+	_, din, imp := sdpcm.CapacityComparison(4)
+	if math.Abs(din-2.222) > 0.01 || math.Abs(imp-0.80) > 0.01 {
+		t.Fatalf("capacity comparison = %v GB, %v", din, imp)
+	}
+}
+
+func TestPublicSchemeComposition(t *testing.T) {
+	s := sdpcm.AllThree(6, sdpcm.Tag23)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.CapacityFraction() <= sdpcm.DIN().CapacityFraction() {
+		t.Fatal("LazyC+PreRead+(2:3) must out-capacity DIN")
+	}
+	// Custom composition through exported fields.
+	custom := sdpcm.Baseline()
+	custom.Name = "custom"
+	custom.PreRead = true
+	custom.Tag = sdpcm.Tag34
+	if err := custom.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicExperimentTables(t *testing.T) {
+	tb := sdpcm.Table1()
+	if len(tb.Rows()) != 2 {
+		t.Fatal("Table1 must have two rows")
+	}
+	o := sdpcm.ExperimentOptions{
+		RefsPerCore: 800, Cores: 2, MemPages: 1 << 15, RegionPages: 512,
+		Benchmarks: []string{"lbm"}, Seed: 1,
+	}
+	fig, err := sdpcm.Fig12(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.Get("lbm", "ECP-0") <= 0 {
+		t.Fatalf("Fig12 produced no corrections:\n%s", fig)
+	}
+}

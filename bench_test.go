@@ -1,0 +1,277 @@
+// Benchmark harness: one testing.B benchmark per table/figure of the
+// paper's evaluation. Each benchmark regenerates its experiment at a
+// reduced-but-shape-preserving scale and reports the figure's headline
+// numbers as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// produces a compact machine-readable rendition of the whole evaluation.
+// For paper-scale runs use cmd/sdpcm-bench with -refs 10000000.
+package sdpcm_test
+
+import (
+	"fmt"
+	"testing"
+
+	"sdpcm"
+)
+
+// benchOpts keeps individual benchmarks to a few hundred milliseconds.
+func benchOpts() sdpcm.ExperimentOptions {
+	return sdpcm.ExperimentOptions{
+		RefsPerCore: 2500,
+		Cores:       4,
+		MemPages:    1 << 16,
+		RegionPages: 1024,
+		Benchmarks:  []string{"gemsFDTD", "lbm", "mcf"},
+		Seed:        42,
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := sdpcm.Table1()
+		b.ReportMetric(t.Get("word-line", "error-rate"), "wl-rate")
+		b.ReportMetric(t.Get("bit-line", "error-rate"), "bl-rate")
+	}
+}
+
+func BenchmarkCapacity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := sdpcm.Capacity()
+		b.ReportMetric(t.Get("capacity improvement", "value"), "improvement")
+	}
+}
+
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := sdpcm.Fig4(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(t.Get("gmean", "wl-avg"), "wl-err/write")
+		b.ReportMetric(t.Get("gmean", "bl-avg/line"), "bl-err/line")
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := sdpcm.Fig5(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(t.Get("gmean", "verify-only"), "verify-slowdown")
+		b.ReportMetric(t.Get("gmean", "verify+correct"), "vnc-slowdown")
+	}
+}
+
+func BenchmarkFig11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := sdpcm.Fig11(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(t.Get("gmean", "DIN"), "din-speedup")
+		b.ReportMetric(t.Get("gmean", "LazyC(ECP-6)"), "lazyc-speedup")
+		b.ReportMetric(t.Get("gmean", "LazyC+PreRead+(2:3)"), "all3-speedup")
+		b.ReportMetric(t.Get("gmean", "(1:2)-Alloc"), "alloc12-speedup")
+	}
+}
+
+func BenchmarkFig12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := sdpcm.Fig12(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(t.Get("average", "ECP-0"), "corr/write-ecp0")
+		b.ReportMetric(t.Get("average", "ECP-6"), "corr/write-ecp6")
+	}
+}
+
+func BenchmarkFig13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := sdpcm.Fig13(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(t.Get("gmean", "ECP-6"), "ecp6-speedup")
+		b.ReportMetric(t.Get("gmean", "ECP-12"), "ecp12-speedup")
+	}
+}
+
+func BenchmarkFig14(b *testing.B) {
+	o := benchOpts()
+	o.Benchmarks = []string{"lbm"}
+	for i := 0; i < b.N; i++ {
+		t, err := sdpcm.Fig14(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(t.Get("100% lifetime", "normalised-perf"), "eol-perf")
+	}
+}
+
+func BenchmarkFig15(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := sdpcm.Fig15(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(t.Get("gmean", "wq-8"), "wq8-speedup")
+		b.ReportMetric(t.Get("gmean", "wq-32"), "wq32-speedup")
+		b.ReportMetric(t.Get("gmean", "wq-64"), "wq64-speedup")
+	}
+}
+
+func BenchmarkFig16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := sdpcm.Fig16(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(t.Get("gmean", "(1:2)"), "alloc12-speedup")
+		b.ReportMetric(t.Get("gmean", "(2:3)"), "alloc23-speedup")
+		b.ReportMetric(t.Get("gmean", "(3:4)"), "alloc34-speedup")
+	}
+}
+
+func BenchmarkFig17(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := sdpcm.Fig17(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(t.Get("gmean", "lifetime"), "data-chip-life")
+	}
+}
+
+func BenchmarkFig18(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := sdpcm.Fig18(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(t.Get("gmean", "lifetime"), "ecp-chip-life")
+	}
+}
+
+func BenchmarkFig19(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := sdpcm.Fig19(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(t.Get("gmean", "WC"), "wc-speedup")
+		b.ReportMetric(t.Get("gmean", "WC+LazyC"), "wc-lazyc-speedup")
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed (references
+// simulated per second) for the heaviest scheme — useful when sizing
+// paper-scale runs.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	cfg := sdpcm.SimConfig{
+		Scheme:      sdpcm.AllThree(6, sdpcm.Tag23),
+		Mix:         sdpcm.HomogeneousMix("mcf", 8),
+		RefsPerCore: 5000,
+		MemPages:    1 << 16,
+		RegionPages: 1024,
+		Seed:        1,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sdpcm.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(8*5000*b.N)/b.Elapsed().Seconds(), "refs/s")
+}
+
+// BenchmarkAblationEncoding compares word-line codecs on the same workload
+// (a DESIGN.md ablation): DIN-style disturbance-aware inversion (§4.1),
+// Flip-N-Write (write-minimising but disturbance-oblivious [7]) and raw
+// storage. Reported: manifested word-line errors per write and programmed
+// cells per write.
+func BenchmarkAblationEncoding(b *testing.B) {
+	for _, enc := range []string{"din", "fnw", "none"} {
+		enc := enc
+		b.Run(enc, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := sdpcm.LazyC(6)
+				s.Encoding = enc
+				r, err := sdpcm.Run(sdpcm.SimConfig{
+					Scheme:      s,
+					Mix:         sdpcm.HomogeneousMix("lbm", 4),
+					RefsPerCore: 3000,
+					MemPages:    1 << 16,
+					RegionPages: 1024,
+					Seed:        42,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(r.WordLineErrorsPerWrite(), "wl-err/write")
+				b.ReportMetric(float64(r.Dev.ResetPulses+r.Dev.SetPulses)/float64(r.MC.WriteOps), "cells/write")
+				b.ReportMetric(r.CPI, "CPI")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationNMRegionSize sweeps the (n:m) marking-region size (a
+// DESIGN.md ablation): smaller regions mean more always-verify boundary
+// strips (§4.4), eroding the allocator's VnC savings.
+func BenchmarkAblationNMRegionSize(b *testing.B) {
+	for _, region := range []int{256, 1024, 4096} {
+		region := region
+		b.Run(fmt.Sprintf("region-%d", region), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := sdpcm.Run(sdpcm.SimConfig{
+					Scheme:      sdpcm.NMAlloc(sdpcm.Tag12),
+					Mix:         sdpcm.HomogeneousMix("lbm", 4),
+					RefsPerCore: 3000,
+					MemPages:    1 << 16,
+					RegionPages: region,
+					Seed:        42,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(r.MC.VerifyReads)/float64(r.MC.WriteOps), "verify-reads/write")
+				b.ReportMetric(r.CPI, "CPI")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationWearLeveling sweeps the intra-row Start-Gap period (the
+// §6.7 design alternative [20]): smaller psi rotates faster, spreading wear
+// at the cost of extra line copies.
+func BenchmarkAblationWearLeveling(b *testing.B) {
+	for _, psi := range []int{0, 100, 20} {
+		psi := psi
+		name := fmt.Sprintf("psi-%d", psi)
+		if psi == 0 {
+			name = "off"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := sdpcm.Run(sdpcm.SimConfig{
+					Scheme:       sdpcm.LazyC(6),
+					Mix:          sdpcm.HomogeneousMix("lbm", 4),
+					RefsPerCore:  3000,
+					MemPages:     1 << 16,
+					RegionPages:  1024,
+					WearLevelPsi: psi,
+					Seed:         42,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(r.CPI, "CPI")
+				b.ReportMetric(float64(r.WearMoves), "gap-moves")
+			}
+		})
+	}
+}

@@ -1,0 +1,107 @@
+// Command sdpcm-bench regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	sdpcm-bench -exp all                  # every experiment
+//	sdpcm-bench -exp fig11 -refs 100000   # the headline comparison, bigger
+//	sdpcm-bench -exp fig12,fig13 -benchmarks lbm,mcf
+//
+// Every experiment prints a fixed-width table whose rows/columns mirror the
+// published figure; see EXPERIMENTS.md for paper-vs-measured commentary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sdpcm"
+)
+
+type runner func(sdpcm.ExperimentOptions) (*sdpcm.ResultTable, error)
+
+func static(f func() *sdpcm.ResultTable) runner {
+	return func(sdpcm.ExperimentOptions) (*sdpcm.ResultTable, error) { return f(), nil }
+}
+
+var experiments = []struct {
+	name string
+	run  runner
+}{
+	{"table1", static(sdpcm.Table1)},
+	{"capacity", static(sdpcm.Capacity)},
+	{"fig4", sdpcm.Fig4},
+	{"fig5", sdpcm.Fig5},
+	{"fig11", sdpcm.Fig11},
+	{"fig12", sdpcm.Fig12},
+	{"fig13", sdpcm.Fig13},
+	{"fig14", sdpcm.Fig14},
+	{"fig15", sdpcm.Fig15},
+	{"fig16", sdpcm.Fig16},
+	{"fig17", sdpcm.Fig17},
+	{"fig18", sdpcm.Fig18},
+	{"fig19", sdpcm.Fig19},
+	{"overhead", static(sdpcm.Overhead)},
+}
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "comma-separated experiment list, or 'all'")
+		refs   = flag.Int("refs", 6000, "main-memory references per core per run (paper: 10M)")
+		cores  = flag.Int("cores", 8, "cores in the CMP")
+		seed   = flag.Uint64("seed", 42, "root random seed")
+		bench  = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all of Table 3)")
+		memMB  = flag.Int("mem-mb", 512, "simulated PCM capacity in MB")
+		region = flag.Int("region-pages", 1024, "(n:m) marking-region size in pages (paper: 16384 = 64MB)")
+	)
+	flag.Parse()
+
+	opts := sdpcm.ExperimentOptions{
+		RefsPerCore: *refs,
+		Cores:       *cores,
+		Seed:        *seed,
+		MemPages:    *memMB * 256, // 4KB pages
+		RegionPages: *region,
+	}
+	if *bench != "" {
+		opts.Benchmarks = strings.Split(*bench, ",")
+	}
+
+	want := map[string]bool{}
+	runAll := *exp == "all"
+	if !runAll {
+		for _, e := range strings.Split(*exp, ",") {
+			want[strings.TrimSpace(e)] = true
+		}
+	}
+	known := map[string]bool{}
+	for _, e := range experiments {
+		known[e.name] = true
+	}
+	for name := range want {
+		if !known[name] {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; available:", name)
+			for _, e := range experiments {
+				fmt.Fprintf(os.Stderr, " %s", e.name)
+			}
+			fmt.Fprintln(os.Stderr)
+			os.Exit(2)
+		}
+	}
+
+	for _, e := range experiments {
+		if !runAll && !want[e.name] {
+			continue
+		}
+		start := time.Now()
+		tb, err := e.run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(tb)
+		fmt.Printf("(%s completed in %v)\n\n", e.name, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,50 @@
+// Command sdpcm-capacity prints the geometry-side results of the paper
+// without running any simulation: the Table 1 disturbance probabilities,
+// the Figure 1 layout summary, the §6.1 capacity/chip-size analysis and the
+// §6.2 hardware-overhead accounting.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"sdpcm"
+)
+
+func main() {
+	capacityGB := flag.Float64("gb", 4, "memory capacity to analyse (GB)")
+	flag.Parse()
+
+	fmt.Println(sdpcm.Table1())
+
+	fmt.Println("== Figure 1: cell layouts ==")
+	for _, layout := range []struct {
+		l interface {
+			CellAreaF2() int
+			InterCellSpaceNM() (int, int)
+			String() string
+		}
+		wl, bl float64
+	}{
+		{l: sdpcm.SuperDense},
+		{l: sdpcm.DINEnhanced},
+		{l: sdpcm.Prototype},
+	} {
+		w, b := layout.l.InterCellSpaceNM()
+		fmt.Printf("  %-28s extra spacing %2dnm(WL) / %2dnm(BL)\n", layout.l.String(), w, b)
+	}
+	wlSD, blSD := sdpcm.DisturbanceRates(sdpcm.SuperDense)
+	wlDIN, blDIN := sdpcm.DisturbanceRates(sdpcm.DINEnhanced)
+	wlP, blP := sdpcm.DisturbanceRates(sdpcm.Prototype)
+	fmt.Printf("  WD rates: super-dense %.3f/%.3f, DIN %.3f/%.3f, prototype %.3f/%.3f (WL/BL)\n\n",
+		wlSD, blSD, wlDIN, blDIN, wlP, blP)
+
+	sd, din, imp := sdpcm.CapacityComparison(*capacityGB)
+	fmt.Printf("== §6.1: %.0f GB SD-PCM vs DIN at equal cell-array area ==\n", *capacityGB)
+	fmt.Printf("  SD-PCM usable capacity: %.2f GB\n", sd)
+	fmt.Printf("  DIN usable capacity:    %.2f GB\n", din)
+	fmt.Printf("  capacity improvement:   %.0f%%\n\n", imp*100)
+
+	fmt.Println(sdpcm.Capacity())
+	fmt.Println(sdpcm.Overhead())
+}

@@ -1,0 +1,129 @@
+// Command sdpcm-sim runs one SD-PCM simulation and prints a detailed report:
+// CPI, speedup against the basic-VnC baseline, controller and device
+// statistics, and the derived disturbance/lifetime metrics.
+//
+// Usage:
+//
+//	sdpcm-sim -scheme lazyc+preread -bench mcf -refs 50000
+//	sdpcm-sim -scheme 1:2 -bench lbm
+//	sdpcm-sim -scheme lazyc -ecp 8 -bench stream -queue 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sdpcm"
+)
+
+func schemeByName(name string, ecp int) (sdpcm.Scheme, error) {
+	switch strings.ToLower(name) {
+	case "din":
+		return sdpcm.DIN(), nil
+	case "wdfree", "wd-free", "prototype":
+		return sdpcm.WDFree(), nil
+	case "baseline", "vnc":
+		return sdpcm.Baseline(), nil
+	case "lazyc":
+		return sdpcm.LazyC(ecp), nil
+	case "preread":
+		return sdpcm.PreReadOnly(), nil
+	case "lazyc+preread":
+		return sdpcm.LazyCPreRead(ecp), nil
+	case "1:2":
+		return sdpcm.NMAlloc(sdpcm.Tag12), nil
+	case "2:3":
+		return sdpcm.NMAlloc(sdpcm.Tag23), nil
+	case "3:4":
+		return sdpcm.NMAlloc(sdpcm.Tag34), nil
+	case "lazyc+2:3":
+		return sdpcm.LazyCNM(ecp, sdpcm.Tag23), nil
+	case "all", "lazyc+preread+2:3":
+		return sdpcm.AllThree(ecp, sdpcm.Tag23), nil
+	case "wc":
+		return sdpcm.WC(), nil
+	case "wc+lazyc":
+		return sdpcm.WCLazyC(ecp), nil
+	default:
+		return sdpcm.Scheme{}, fmt.Errorf("unknown scheme %q", name)
+	}
+}
+
+func main() {
+	var (
+		scheme = flag.String("scheme", "lazyc+preread", "scheme: din|wdfree|baseline|lazyc|preread|lazyc+preread|1:2|2:3|3:4|lazyc+2:3|all|wc|wc+lazyc")
+		bench  = flag.String("bench", "lbm", "Table 3 benchmark name")
+		refs   = flag.Int("refs", 20000, "main-memory references per core")
+		cores  = flag.Int("cores", 8, "cores")
+		ecp    = flag.Int("ecp", sdpcm.DefaultECPEntries, "ECP entries per line for LazyC schemes")
+		queue  = flag.Int("queue", 32, "write queue entries per bank")
+		seed   = flag.Uint64("seed", 42, "random seed")
+		noBase = flag.Bool("no-baseline", false, "skip the baseline comparison run")
+		traces = flag.String("trace", "", "comma-separated trace files to replay (one per core) instead of -bench")
+	)
+	flag.Parse()
+
+	s, err := schemeByName(*scheme, *ecp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg := sdpcm.SimConfig{
+		Scheme:        s,
+		Mix:           sdpcm.HomogeneousMix(*bench, *cores),
+		RefsPerCore:   *refs,
+		WriteQueueCap: *queue,
+		MemPages:      1 << 17,
+		RegionPages:   1024,
+		Seed:          *seed,
+	}
+	if *traces != "" {
+		streams, err := sdpcm.LoadTraceStreams(strings.Split(*traces, ",")...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cfg.Streams = streams
+		cfg.Mix = sdpcm.MixSpec{}
+		cfg.RefsPerCore = 1 << 40 // streams exhaust on their own
+	}
+	res, err := sdpcm.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("scheme        %s\n", res.Scheme)
+	fmt.Printf("workload      %s x %d cores\n", res.Mix, len(cfg.Mix.Cores)+len(cfg.Streams))
+	fmt.Printf("cycles        %d\n", res.Cycles)
+	fmt.Printf("instructions  %d\n", res.Instructions)
+	fmt.Printf("CPI           %.3f\n", res.CPI)
+	if !*noBase {
+		baseCfg := cfg
+		baseCfg.Scheme = sdpcm.Baseline()
+		base, err := sdpcm.Run(baseCfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("speedup       %.3f (vs basic VnC baseline, CPI %.3f)\n",
+			sdpcm.Speedup(base, res), base.CPI)
+	}
+	fmt.Println()
+	fmt.Printf("memory        %d reads (%d forwarded), %d writes (%d coalesced)\n",
+		res.MC.DemandReads, res.MC.ForwardedReads, res.MC.WriteRequests, res.MC.Coalesced)
+	fmt.Printf("write ops     %d (%d bursty drains; %d burst ops, %d background ops)\n",
+		res.MC.WriteOps, res.MC.Drains, res.MC.BurstOps, res.MC.BackgroundOps)
+	fmt.Printf("VnC           %d verify reads, %d cascade reads, %d corrections (%.3f/write), %d lazy records\n",
+		res.MC.VerifyReads, res.MC.CascadeReads, res.MC.CorrectionWrites,
+		res.CorrectionsPerWrite(), res.MC.LazyRecords)
+	fmt.Printf("PreRead       %d issued, %d forwarded, %d canceled, %d full hits\n",
+		res.MC.PreReadsIssued, res.MC.PreReadsForwarded, res.MC.PreReadsCanceled, res.MC.PreReadHits)
+	fmt.Printf("disturbance   %.3f word-line errors/write, %.3f bit-line errors/adjacent line (max %d)\n",
+		res.WordLineErrorsPerWrite(), res.BitLineErrorsPerAdjacentLine(), res.WD.MaxBitLinePerLine)
+	fmt.Printf("lifetime      data chips %.5f, ECP chip %.5f (normalised)\n",
+		res.DataChipLifetime(), res.ECPChipLifetime())
+	fmt.Printf("VM            %d page faults, %d TLB misses\n", res.PageFaults, res.TLBMisses)
+}

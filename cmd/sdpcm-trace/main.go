@@ -1,0 +1,140 @@
+// Command sdpcm-trace generates, captures and inspects main-memory
+// reference traces — the stand-in for the paper's PIN-based methodology
+// (§5.2).
+//
+// Subcommands:
+//
+//	gen     -bench lbm -refs 100000 -o lbm.trc     # memory-level generator
+//	capture -bench lbm -refs 100000 -o lbm.trc     # CPU-level stream filtered
+//	                                               # through the Table 2 caches
+//	info    lbm.trc                                # summary statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sdpcm/internal/cpu"
+	"sdpcm/internal/trace"
+	"sdpcm/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		gen(os.Args[2:])
+	case "capture":
+		capture(os.Args[2:])
+	case "info":
+		info(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: sdpcm-trace gen|capture|info [flags]")
+	os.Exit(2)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+func gen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	bench := fs.String("bench", "lbm", "Table 3 benchmark")
+	refs := fs.Int("refs", 100000, "references to generate")
+	seed := fs.Uint64("seed", 1, "random seed")
+	out := fs.String("o", "", "output file (default <bench>.trc)")
+	fs.Parse(args)
+	spec, err := workload.ByName(*bench)
+	if err != nil {
+		fail(err)
+	}
+	g, err := workload.NewGenerator(spec, *seed)
+	if err != nil {
+		fail(err)
+	}
+	recs := workload.Capture(g, *refs)
+	writeTrace(orDefault(*out, *bench+".trc"), recs)
+}
+
+func capture(args []string) {
+	fs := flag.NewFlagSet("capture", flag.ExitOnError)
+	bench := fs.String("bench", "lbm", "Table 3 benchmark (behaviour template)")
+	refs := fs.Int("refs", 100000, "memory references to capture")
+	warmup := fs.Int("warmup", 10000, "leading memory references to discard")
+	scale := fs.Float64("cpu-scale", 20, "CPU access intensity multiplier over the memory-level RPKI/WPKI")
+	seed := fs.Uint64("seed", 1, "random seed")
+	out := fs.String("o", "", "output file (default <bench>-cap.trc)")
+	fs.Parse(args)
+	spec, err := workload.ByName(*bench)
+	if err != nil {
+		fail(err)
+	}
+	// Reinterpret the spec at CPU level: the caches will filter it back
+	// down toward the memory-level rates.
+	spec.RPKI *= *scale
+	spec.WPKI *= *scale
+	res, err := cpu.Capture(cpu.CaptureConfig{
+		Spec: spec, MemoryRefs: *refs, WarmupRefs: *warmup, Seed: *seed,
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("captured %d refs from %d CPU accesses (%d instructions)\n",
+		len(res.Records), res.CPUAccesses, res.Instructions)
+	fmt.Printf("L1 miss %.4f  L2 miss %.4f  L3 miss %.4f\n",
+		res.L1.MissRate(), res.L2.MissRate(), res.L3.MissRate())
+	writeTrace(orDefault(*out, *bench+"-cap.trc"), res.Records)
+}
+
+func info(args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	recs, err := trace.ReadAll(f)
+	if err != nil {
+		fail(err)
+	}
+	st := trace.Summarize(recs)
+	fmt.Printf("records       %d (%d reads, %d writes)\n", st.Records, st.Reads, st.Writes)
+	fmt.Printf("instructions  %d\n", st.Instrs)
+	fmt.Printf("RPKI / WPKI   %.2f / %.2f\n", st.RPKI(), st.WPKI())
+	fmt.Printf("pages touched %d\n", st.Pages)
+}
+
+func orDefault(v, d string) string {
+	if v == "" {
+		return d
+	}
+	return v
+}
+
+func writeTrace(path string, recs []trace.Record) {
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	if err := trace.WriteAll(f, recs); err != nil {
+		f.Close()
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+	st := trace.Summarize(recs)
+	fmt.Printf("wrote %s: %d records, RPKI %.2f, WPKI %.2f, %d pages\n",
+		path, st.Records, st.RPKI(), st.WPKI(), st.Pages)
+}

@@ -1,0 +1,86 @@
+package sdpcm_test
+
+import (
+	"fmt"
+
+	"sdpcm"
+)
+
+// ExampleTable1 regenerates the paper's Table 1: the disturbance
+// probabilities that motivate the whole design.
+func ExampleTable1() {
+	wl, bl := sdpcm.DisturbanceRates(sdpcm.SuperDense)
+	fmt.Printf("word-line: %.3f\n", wl)
+	fmt.Printf("bit-line:  %.3f\n", bl)
+	// Output:
+	// word-line: 0.099
+	// bit-line:  0.115
+}
+
+// ExampleCapacityComparison reproduces the §6.1 headline: 80% more usable
+// capacity than the DIN design at equal cell-array silicon.
+func ExampleCapacityComparison() {
+	sd, din, imp := sdpcm.CapacityComparison(4)
+	fmt.Printf("SD-PCM %.2f GB vs DIN %.2f GB: +%.0f%%\n", sd, din, imp*100)
+	// Output:
+	// SD-PCM 4.00 GB vs DIN 2.22 GB: +80%
+}
+
+// ExampleScheme_CapacityFraction shows the §6 capacity/performance
+// trade-off space in one place.
+func ExampleScheme_CapacityFraction() {
+	for _, s := range []sdpcm.Scheme{
+		sdpcm.Baseline(),
+		sdpcm.LazyCNM(6, sdpcm.Tag23),
+		sdpcm.NMAlloc(sdpcm.Tag12),
+		sdpcm.DIN(),
+	} {
+		fmt.Printf("%-22s %.2fx\n", s.Name, s.CapacityFraction())
+	}
+	// Output:
+	// baseline               1.00x
+	// LazyC+(2:3)            0.67x
+	// (1:2)-Alloc            0.50x
+	// DIN                    0.50x
+}
+
+// ExampleDisturbanceRatesAt walks the technology scaling model: write
+// disturbance is absent at 54nm (where it was first observed as marginal)
+// and severe at 20nm.
+func ExampleDisturbanceRatesAt() {
+	for _, node := range []float64{54, 20} {
+		wl, bl := sdpcm.DisturbanceRatesAt(2, 2, node)
+		fmt.Printf("%2.0fnm: word-line %.3f, bit-line %.3f\n", node, wl, bl)
+	}
+	// Output:
+	// 54nm: word-line 0.000, bit-line 0.000
+	// 20nm: word-line 0.099, bit-line 0.115
+}
+
+// ExampleRun is the minimal simulation workflow: run the SD-PCM design and
+// the basic-VnC baseline on the same workload and compare with the §5.2
+// speedup metric.
+func ExampleRun() {
+	cfg := sdpcm.SimConfig{
+		Mix:         sdpcm.HomogeneousMix("lbm", 4),
+		RefsPerCore: 2000,
+		MemPages:    1 << 16,
+		RegionPages: 1024,
+		Seed:        1,
+	}
+	cfg.Scheme = sdpcm.Baseline()
+	base, err := sdpcm.Run(cfg)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	cfg.Scheme = sdpcm.LazyCPreRead(sdpcm.DefaultECPEntries)
+	sd, err := sdpcm.Run(cfg)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("SD-PCM beats basic VnC: %v\n", sdpcm.Speedup(base, sd) > 1)
+	// Output:
+	// SD-PCM beats basic VnC: true
+}

@@ -1,0 +1,53 @@
+// Lifetime study: how SD-PCM behaves as the DIMM ages (§6.4 Fig. 14) and
+// what LazyCorrection costs in endurance (§6.7 Fig. 17/18).
+//
+// As hard errors accumulate they consume ECP entries, leaving fewer for
+// LazyCorrection to park WD errors in — more corrections, slightly lower
+// performance. Meanwhile every parked error wears the ECP chip (10 cells
+// per fresh pointer) and every correction wears the data chips.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sdpcm"
+)
+
+func main() {
+	const bench = "zeusmp"
+	fmt.Printf("DIMM aging study — LazyC(ECP-%d) on %s x 8 cores\n\n",
+		sdpcm.DefaultECPEntries, bench)
+	fmt.Printf("  %-10s %12s %16s %14s %14s\n",
+		"lifetime", "CPI", "normalised perf", "data-chip life", "ECP-chip life")
+
+	var freshCPI float64
+	for _, frac := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
+		scheme := sdpcm.LazyC(sdpcm.DefaultECPEntries)
+		scheme.HardErrorFn = sdpcm.HardErrorModel(frac)
+		res, err := sdpcm.Run(sdpcm.SimConfig{
+			Scheme:      scheme,
+			Mix:         sdpcm.HomogeneousMix(bench, 8),
+			RefsPerCore: 10000,
+			Seed:        9,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if frac == 0 {
+			freshCPI = res.CPI
+		}
+		fmt.Printf("  %8.0f%% %12.2f %16.4f %14.5f %14.5f\n",
+			frac*100, res.CPI, freshCPI/res.CPI,
+			res.DataChipLifetime(), res.ECPChipLifetime())
+	}
+
+	fmt.Println()
+	fmt.Println("  Reading the table:")
+	fmt.Println("  - normalised perf barely moves: even at end of life most lines")
+	fmt.Println("    keep enough free ECP entries for LazyCorrection (Fig. 14);")
+	fmt.Println("  - data chips lose <1% lifetime to correction writes (Fig. 17);")
+	fmt.Println("  - the ECP chip absorbs the WD bookkeeping and wears visibly")
+	fmt.Println("    faster (Fig. 18) — which is why SD-PCM provisions it as a")
+	fmt.Println("    low-density (8F², WD-free) chip.")
+}

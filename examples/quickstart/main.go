@@ -1,0 +1,52 @@
+// Quickstart: run the SD-PCM design (LazyCorrection + PreRead on super
+// dense 4F² PCM) against the basic verify-and-correct baseline on a
+// memory-intensive workload, and print the paper's §5.2 speedup metric.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sdpcm"
+)
+
+func main() {
+	cfg := sdpcm.SimConfig{
+		Mix:         sdpcm.HomogeneousMix("lbm", 8), // 8 cores, one copy each (§5.2)
+		RefsPerCore: 20000,
+		Seed:        1,
+	}
+
+	cfg.Scheme = sdpcm.Baseline() // basic VnC on 4F² cells
+	base, err := sdpcm.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg.Scheme = sdpcm.LazyCPreRead(sdpcm.DefaultECPEntries)
+	sd, err := sdpcm.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg.Scheme = sdpcm.DIN() // the 8F² state of the art, for context
+	din, err := sdpcm.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("SD-PCM quickstart — lbm x 8 cores")
+	fmt.Printf("  baseline (basic VnC, 4F²):   CPI %6.2f   speedup 1.00   capacity %.2fx\n",
+		base.CPI, sdpcm.Baseline().CapacityFraction())
+	fmt.Printf("  LazyC+PreRead (SD-PCM, 4F²): CPI %6.2f   speedup %.2f   capacity %.2fx\n",
+		sd.CPI, sdpcm.Speedup(base, sd), sdpcm.LazyCPreRead(6).CapacityFraction())
+	fmt.Printf("  DIN (8F² comparator):        CPI %6.2f   speedup %.2f   capacity %.2fx\n",
+		din.CPI, sdpcm.Speedup(base, din), sdpcm.DIN().CapacityFraction())
+	fmt.Println()
+	fmt.Printf("  SD-PCM absorbed %d of %d disturbed-line events in ECP entries\n",
+		sd.MC.LazyRecords, sd.MC.LazyRecords+sd.MC.CorrectionWrites)
+	fmt.Printf("  corrections per write: baseline %.2f -> SD-PCM %.3f\n",
+		base.CorrectionsPerWrite(), sd.CorrectionsPerWrite())
+	fmt.Printf("  write disturbance seen: %.2f bit-line errors per adjacent line per write\n",
+		sd.BitLineErrorsPerAdjacentLine())
+}

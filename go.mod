@@ -1,0 +1,3 @@
+module sdpcm
+
+go 1.22

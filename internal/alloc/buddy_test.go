@@ -1,0 +1,457 @@
+package alloc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sdpcm/internal/pcm"
+)
+
+// small allocator for tests: 8 regions of 128 pages (8 strips each).
+func newTestAlloc(t *testing.T) *Allocator {
+	t.Helper()
+	a, err := New(1024, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(100, 128); err == nil {
+		t.Error("totalPages not multiple of region must be rejected")
+	}
+	if _, err := New(1024, 100); err == nil {
+		t.Error("non-power-of-two region must be rejected")
+	}
+	if _, err := New(1024, 16); err == nil {
+		t.Error("single-strip region must be rejected")
+	}
+	if _, err := New(0, 128); err == nil {
+		t.Error("zero pages must be rejected")
+	}
+}
+
+func TestSimpleAllocFree(t *testing.T) {
+	a := newTestAlloc(t)
+	b, err := a.Alloc(16, Tag11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Pages() != 16 || b.Tag != Tag11 {
+		t.Fatalf("block = %+v", b)
+	}
+	if len(a.Usable(b)) != 16 {
+		t.Fatal("(1:1) block must be fully usable")
+	}
+	if !a.Conserved() {
+		t.Fatal("page conservation violated after alloc")
+	}
+	if err := a.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Conserved() {
+		t.Fatal("page conservation violated after free")
+	}
+	// After freeing everything, all memory must coalesce back into
+	// Free-(1:1).
+	st := a.Snapshot()
+	if st.FreePages[Tag11] != 1024 || st.AllocatedPages != 0 {
+		t.Fatalf("post-free stats = %+v", st)
+	}
+}
+
+func TestAllocAlignment(t *testing.T) {
+	a := newTestAlloc(t)
+	for _, req := range []int{1, 2, 3, 7, 16, 33, 128} {
+		b, err := a.Alloc(req, Tag11)
+		if err != nil {
+			t.Fatalf("Alloc(%d): %v", req, err)
+		}
+		if int(b.Start)%(1<<b.Order) != 0 {
+			t.Fatalf("block %+v not naturally aligned", b)
+		}
+		if b.Pages() < req {
+			t.Fatalf("block %+v smaller than request %d", b, req)
+		}
+	}
+}
+
+func TestDoubleFreeRejected(t *testing.T) {
+	a := newTestAlloc(t)
+	b, _ := a.Alloc(16, Tag11)
+	if err := a.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(b); err == nil {
+		t.Fatal("double free must be rejected")
+	}
+	if err := a.Free(Block{Start: 512, Order: 3, Tag: Tag11}); err == nil {
+		t.Fatal("freeing never-allocated block must be rejected")
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	a := newTestAlloc(t)
+	if _, err := a.Alloc(0, Tag11); err == nil {
+		t.Error("zero-page request must be rejected")
+	}
+	if _, err := a.Alloc(10, Tag{0, 3}); err == nil {
+		t.Error("invalid tag must be rejected")
+	}
+	if _, err := a.Alloc(4096, Tag11); err != ErrOutOfMemory {
+		t.Error("oversized request must return ErrOutOfMemory")
+	}
+}
+
+func TestOutOfMemory(t *testing.T) {
+	a := newTestAlloc(t)
+	var blocks []Block
+	for {
+		b, err := a.Alloc(128, Tag11)
+		if err != nil {
+			break
+		}
+		blocks = append(blocks, b)
+	}
+	if len(blocks) != 8 {
+		t.Fatalf("allocated %d regions, want 8", len(blocks))
+	}
+	if _, err := a.Alloc(1, Tag11); err != ErrOutOfMemory {
+		t.Fatal("exhausted allocator must return ErrOutOfMemory")
+	}
+	for _, b := range blocks {
+		if err := a.Free(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := a.Snapshot(); st.FreePages[Tag11] != 1024 {
+		t.Fatalf("memory not fully recovered: %+v", st)
+	}
+}
+
+func TestNMPaperExample(t *testing.T) {
+	// §4.4: a 32-page request under (1:2) allocates a 64-page block with 32
+	// usable pages.
+	a := newTestAlloc(t)
+	b, err := a.Alloc(32, Tag12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Pages() != 64 {
+		t.Fatalf("(1:2) 32-page request got %d pages, want 64", b.Pages())
+	}
+	usable := a.Usable(b)
+	if len(usable) != 32 {
+		t.Fatalf("usable pages = %d, want 32", len(usable))
+	}
+	// Usable pages must all be in in-use strips (even strip indices).
+	for _, p := range usable {
+		if a.StripIndexInRegion(p)%2 != 0 {
+			t.Fatalf("page %d in a no-use strip", p)
+		}
+	}
+	if !a.Conserved() {
+		t.Fatal("conservation violated")
+	}
+}
+
+func TestNM16PageAdjustment(t *testing.T) {
+	// "requests asking for 16 pages always have their sizes adjusted to 32
+	// pages" under any n≠m allocator.
+	a := newTestAlloc(t)
+	b, err := a.Alloc(16, Tag12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Pages() < 32 {
+		t.Fatalf("16-page (1:2) request got %d pages, want >= 32", b.Pages())
+	}
+	if len(a.Usable(b)) < 16 {
+		t.Fatal("must still deliver 16 usable pages")
+	}
+}
+
+func TestNMSubStripRequest(t *testing.T) {
+	// An 8-page request is serviced from an in-use strip without size
+	// adjustment.
+	a := newTestAlloc(t)
+	b, err := a.Alloc(8, Tag12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Pages() != 8 {
+		t.Fatalf("8-page (1:2) request got %d pages, want 8", b.Pages())
+	}
+	usable := a.Usable(b)
+	if len(usable) != 8 {
+		t.Fatalf("usable = %d, want 8", len(usable))
+	}
+	if a.StripIndexInRegion(usable[0])%2 != 0 {
+		t.Fatal("sub-strip block must sit inside an in-use strip")
+	}
+}
+
+func TestRegionOwnershipAndPageInUse(t *testing.T) {
+	a := newTestAlloc(t)
+	b, _ := a.Alloc(32, Tag12)
+	region := int(b.Start) / 128 * 128
+	if got := a.RegionTag(pcm.PageAddr(region)); got != Tag12 {
+		t.Fatalf("region tag = %v, want (1:2)", got)
+	}
+	// Pages in odd strips of the owned region are not in use.
+	if a.PageInUse(pcm.PageAddr(region + 16)) {
+		t.Fatal("page in marked strip must be no-use")
+	}
+	if !a.PageInUse(pcm.PageAddr(region)) {
+		t.Fatal("page in in-use strip must be usable")
+	}
+	// Unowned regions default to (1:1).
+	var other pcm.PageAddr
+	for r := 0; r < 1024; r += 128 {
+		if r != region {
+			other = pcm.PageAddr(r)
+			break
+		}
+	}
+	if a.RegionTag(other) != Tag11 || !a.PageInUse(other) {
+		t.Fatal("unowned region must behave as (1:1)")
+	}
+}
+
+func TestRegionReturnedWhenFullyFree(t *testing.T) {
+	a := newTestAlloc(t)
+	b, _ := a.Alloc(32, Tag12)
+	if a.Snapshot().OwnedRegions[Tag12] != 1 {
+		t.Fatal("(1:2) must own one region")
+	}
+	if err := a.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	st := a.Snapshot()
+	if st.OwnedRegions[Tag12] != 0 {
+		t.Fatalf("fully-freed region must return to (1:1): %+v", st)
+	}
+	if st.FreePages[Tag11] != 1024 {
+		t.Fatalf("all pages must be back in Free-(1:1): %+v", st)
+	}
+	if st.FragmentPages != 0 {
+		t.Fatal("no fragments may survive full reclamation")
+	}
+}
+
+func TestFragmentReclamation(t *testing.T) {
+	// Allocate two 8-page blocks under (1:2) (same in-use strip), free
+	// them: the no-use buddy strip must be reclaimed into a 32-page block,
+	// per §4.4 "freeing a 16-page block in (1:2)-Alloc automatically forms
+	// a 32-page block after reclaiming its no-use buddy".
+	a := newTestAlloc(t)
+	b1, err := a.Alloc(8, Tag12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := a.Alloc(8, Tag12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Conserved() {
+		t.Fatal("conservation violated with live fragments")
+	}
+	if err := a.Free(b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(b2); err != nil {
+		t.Fatal(err)
+	}
+	st := a.Snapshot()
+	if st.FragmentPages != 0 {
+		t.Fatalf("fragments not reclaimed: %+v", st)
+	}
+	if st.OwnedRegions[Tag12] != 0 {
+		t.Fatalf("region not returned: %+v", st)
+	}
+}
+
+func TestUsablePagesDisjointAcrossBlocks(t *testing.T) {
+	a := newTestAlloc(t)
+	seen := map[pcm.PageAddr]bool{}
+	tags := []Tag{Tag11, Tag12, Tag23, Tag34}
+	var blocks []Block
+	for i := 0; ; i++ {
+		b, err := a.Alloc(1+(i%20), tags[i%len(tags)])
+		if err != nil {
+			break
+		}
+		blocks = append(blocks, b)
+		for _, p := range a.Usable(b) {
+			if seen[p] {
+				t.Fatalf("page %d handed out twice", p)
+			}
+			seen[p] = true
+		}
+	}
+	if len(blocks) == 0 {
+		t.Fatal("no allocations succeeded")
+	}
+	if !a.Conserved() {
+		t.Fatal("conservation violated")
+	}
+}
+
+func TestDMARanges(t *testing.T) {
+	a := newTestAlloc(t)
+	b, _ := a.Alloc(32, Tag12)
+	ranges, err := a.DMARanges(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 64-page (1:2) block = 4 strips, 2 usable: two 16-page runs.
+	if len(ranges) != 2 {
+		t.Fatalf("ranges = %v, want 2 runs", ranges)
+	}
+	for _, r := range ranges {
+		if r[1]-r[0]+1 != StripPages {
+			t.Fatalf("run %v is not one strip", r)
+		}
+	}
+	// (2:3) DMA unsupported per §4.4.
+	b23, err := a.Alloc(32, Tag23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.DMARanges(b23); err == nil {
+		t.Fatal("(2:3) DMA must be rejected")
+	}
+	// (1:1) DMA: single contiguous run.
+	b11, _ := a.Alloc(16, Tag11)
+	ranges, err = a.DMARanges(b11)
+	if err != nil || len(ranges) != 1 {
+		t.Fatalf("(1:1) DMA ranges = %v, %v", ranges, err)
+	}
+}
+
+func TestConservationProperty(t *testing.T) {
+	// Random interleavings of alloc/free across tags preserve conservation
+	// and never double-allocate.
+	if err := quick.Check(func(ops []uint16) bool {
+		a, err := New(2048, 128)
+		if err != nil {
+			return false
+		}
+		tags := []Tag{Tag11, Tag12, Tag23, Tag34}
+		var live []Block
+		for _, op := range ops {
+			if op%3 != 0 || len(live) == 0 {
+				req := int(op%70) + 1
+				b, err := a.Alloc(req, tags[int(op/4)%len(tags)])
+				if err == nil {
+					if len(a.Usable(b)) < req {
+						return false // short allocation
+					}
+					live = append(live, b)
+				}
+			} else {
+				i := int(op/3) % len(live)
+				if a.Free(live[i]) != nil {
+					return false
+				}
+				live = append(live[:i], live[i+1:]...)
+			}
+			if !a.Conserved() {
+				return false
+			}
+		}
+		for _, b := range live {
+			if a.Free(b) != nil {
+				return false
+			}
+		}
+		st := a.Snapshot()
+		return a.Conserved() && st.AllocatedPages == 0 && st.FreePages[Tag11] == 2048
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocUnderPressureMixedTags(t *testing.T) {
+	// (n:m) allocators must be able to grab additional regions from (1:1)
+	// as they grow.
+	a := newTestAlloc(t)
+	var blocks []Block
+	for i := 0; i < 6; i++ {
+		b, err := a.Alloc(64, Tag12) // each needs a 128-page region
+		if err != nil {
+			break
+		}
+		blocks = append(blocks, b)
+	}
+	if len(blocks) < 4 {
+		t.Fatalf("only %d (1:2) region-sized allocations succeeded", len(blocks))
+	}
+	st := a.Snapshot()
+	if st.OwnedRegions[Tag12] != len(blocks) {
+		t.Fatalf("owned regions = %d, want %d", st.OwnedRegions[Tag12], len(blocks))
+	}
+}
+
+func TestAcquisitionFailureReclaimsRegions(t *testing.T) {
+	// A request whose usable-page requirement cannot be met by any single
+	// aligned block must fail cleanly AND hand acquired-but-unused regions
+	// back to Free-(1:1).
+	a := newTestAlloc(t) // 8 regions x 128 pages (8 strips each)
+	// (2:3) usable per 128-page region: strips {0,2,3,5,6} = 5 of 8 -> 80
+	// pages. Ask for 81..: adjusted order fits one region but its usable
+	// falls short; escalation acquires more until OOM of aligned blocks.
+	b, err := a.Alloc(81, Tag23)
+	if err == nil {
+		// If a larger aligned block satisfied it, that's fine too — verify
+		// the delivery instead.
+		if len(a.Usable(b)) < 81 {
+			t.Fatalf("short allocation: %d usable", len(a.Usable(b)))
+		}
+		return
+	}
+	st := a.Snapshot()
+	if st.OwnedRegions[Tag23] != 0 {
+		t.Fatalf("failed acquisition left %d regions owned", st.OwnedRegions[Tag23])
+	}
+	if st.FreePages[Tag11] != 1024 {
+		t.Fatalf("memory not reclaimed after failure: %+v", st)
+	}
+	if !a.Conserved() {
+		t.Fatal("conservation violated after failed acquisition")
+	}
+}
+
+func TestUsableOrderedAndInBlock(t *testing.T) {
+	a := newTestAlloc(t)
+	b, err := a.Alloc(40, Tag34)
+	if err != nil {
+		t.Fatal(err)
+	}
+	us := a.Usable(b)
+	for i, p := range us {
+		if i > 0 && us[i-1] >= p {
+			t.Fatal("usable pages not strictly ascending")
+		}
+		if p < b.Start || int(p) >= int(b.Start)+b.Pages() {
+			t.Fatalf("usable page %d outside block %+v", p, b)
+		}
+	}
+}
+
+func TestSnapshotCountsOwnedRegions(t *testing.T) {
+	a := newTestAlloc(t)
+	b1, _ := a.Alloc(32, Tag12)
+	b2, _ := a.Alloc(32, Tag23)
+	st := a.Snapshot()
+	if st.OwnedRegions[Tag12] != 1 || st.OwnedRegions[Tag23] != 1 {
+		t.Fatalf("owned regions = %+v", st.OwnedRegions)
+	}
+	a.Free(b1)
+	a.Free(b2)
+	st = a.Snapshot()
+	if len(st.OwnedRegions) != 0 && (st.OwnedRegions[Tag12] != 0 || st.OwnedRegions[Tag23] != 0) {
+		t.Fatalf("regions survive frees: %+v", st.OwnedRegions)
+	}
+}

@@ -1,0 +1,121 @@
+// Package alloc implements the WD-aware buddy page allocator of §4.4:
+// (n:m)-Alloc. An (n:m) allocator uses n out of every m consecutive device
+// strips and marks the rest "no-use" — never allocated to any process — so
+// that writes to lines whose bit-line neighbours fall in no-use strips can
+// skip verification entirely.
+//
+// The design mirrors the paper's integration with a buddy system:
+//
+//   - one free-block-list-array per allocator tag; Free-(1:1) owns all
+//     memory initially;
+//   - an (n:m) allocator (n≠m) acquires naturally aligned marking regions
+//     ("superblocks", 64 MB in the paper) from Free-(1:1), marks their
+//     no-use strips, and carves user blocks from the rest;
+//   - blocks of 32+ pages may contain internal no-use strips (internal
+//     fragments); single-strip (16-page) no-use blocks are never linked to
+//     free lists — they become external fragments reclaimed when their buddy
+//     is freed, automatically re-forming the 32-page block;
+//   - fully coalesced superblocks are returned to Free-(1:1) to reduce
+//     fragmentation.
+package alloc
+
+import (
+	"fmt"
+
+	"sdpcm/internal/pcm"
+)
+
+// StripPages is the number of pages in one device strip (one row across all
+// banks, §4.1).
+const StripPages = pcm.NumBanks
+
+// StripOrder is the buddy order of a single strip (2^4 = 16 pages).
+const StripOrder = 4
+
+// MaxM bounds the m of any allocator tag; the page-table tag field is 4
+// bits, supporting 16 distinct allocators (§6.2).
+const MaxM = 16
+
+// Tag identifies an (n:m) allocator: n of every m consecutive strips hold
+// data. Tag{1,1} is the default allocator that uses every strip.
+type Tag struct {
+	N, M int
+}
+
+// Common tags from the evaluation.
+var (
+	Tag11 = Tag{1, 1}
+	Tag12 = Tag{1, 2}
+	Tag23 = Tag{2, 3}
+	Tag34 = Tag{3, 4}
+)
+
+// Valid reports whether the tag is well-formed.
+func (t Tag) Valid() bool { return t.N >= 1 && t.N <= t.M && t.M <= MaxM }
+
+// String implements fmt.Stringer.
+func (t Tag) String() string { return fmt.Sprintf("(%d:%d)", t.N, t.M) }
+
+// StripInUse reports whether strip index s (within a marking region) stores
+// data under this allocator. Following the paper's (2:3) example — "a (2:3)
+// allocator marks the 2nd strip of each 3-strip group" — each m-group keeps
+// its first strip and its last n-1 strips, marking indices 1..m-n as no-use.
+func (t Tag) StripInUse(s int) bool {
+	r := s % t.M
+	return r == 0 || r > t.M-t.N
+}
+
+// UsableStripsPer returns how many of `strips` consecutive strips (starting
+// at stripOffset within the marking region) are in use.
+func (t Tag) UsableStripsPer(stripOffset, strips int) int {
+	if t.N == t.M {
+		return strips
+	}
+	n := 0
+	for s := stripOffset; s < stripOffset+strips; s++ {
+		if t.StripInUse(s) {
+			n++
+		}
+	}
+	return n
+}
+
+// VerifyNeighbors decides, for a write landing in strip s of a marking
+// region with stripsPerRegion strips, which bit-line neighbours need VnC
+// (§4.4): a neighbour in a no-use strip holds no data and is skipped. To
+// stay safe across region boundaries the first strip always verifies its
+// top neighbour and the last strip always verifies its below neighbour.
+func (t Tag) VerifyNeighbors(s, stripsPerRegion int) (top, below bool) {
+	top = s == 0 || t.StripInUse(s-1)
+	below = s == stripsPerRegion-1 || t.StripInUse(s+1)
+	return
+}
+
+// ExpectedVerifiesPerWrite returns the steady-state average number of
+// adjacent lines a write must verify under this allocator (ignoring region
+// boundaries): the capacity/performance trade-off knob of §6.6.
+func (t Tag) ExpectedVerifiesPerWrite() float64 {
+	if !t.Valid() {
+		return 0
+	}
+	total, used := 0, 0
+	for s := 0; s < t.M; s++ {
+		if !t.StripInUse(s) {
+			continue
+		}
+		used++
+		if t.StripInUse((s - 1 + t.M) % t.M) {
+			total++
+		}
+		if t.StripInUse((s + 1) % t.M) {
+			total++
+		}
+	}
+	if used == 0 {
+		return 0
+	}
+	return float64(total) / float64(used)
+}
+
+// CapacityFraction returns the share of strips that store data (n/m).
+func (t Tag) CapacityFraction() float64 { return float64(t.N) / float64(t.M) }

@@ -1,0 +1,141 @@
+package alloc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTagValid(t *testing.T) {
+	for _, tag := range []Tag{Tag11, Tag12, Tag23, Tag34, {4, 5}, {16, 16}} {
+		if !tag.Valid() {
+			t.Errorf("%v must be valid", tag)
+		}
+	}
+	for _, tag := range []Tag{{0, 1}, {2, 1}, {1, 17}, {-1, 2}, {0, 0}} {
+		if tag.Valid() {
+			t.Errorf("%v must be invalid", tag)
+		}
+	}
+}
+
+func TestStripInUsePaperExamples(t *testing.T) {
+	// §4.4: a (2:3) allocator marks the 2nd strip of each 3-strip group.
+	for s := 0; s < 12; s++ {
+		want := s%3 != 1
+		if got := Tag23.StripInUse(s); got != want {
+			t.Errorf("(2:3) strip %d in-use = %v, want %v", s, got, want)
+		}
+	}
+	// (1:2) uses every other strip.
+	for s := 0; s < 12; s++ {
+		want := s%2 == 0
+		if got := Tag12.StripInUse(s); got != want {
+			t.Errorf("(1:2) strip %d in-use = %v, want %v", s, got, want)
+		}
+	}
+	// (1:1) uses everything.
+	for s := 0; s < 5; s++ {
+		if !Tag11.StripInUse(s) {
+			t.Errorf("(1:1) strip %d must be in use", s)
+		}
+	}
+}
+
+func TestStripInUseDensity(t *testing.T) {
+	// Exactly n of every m strips must be in use for all valid tags.
+	for m := 1; m <= MaxM; m++ {
+		for n := 1; n <= m; n++ {
+			tag := Tag{n, m}
+			used := 0
+			for s := 0; s < m; s++ {
+				if tag.StripInUse(s) {
+					used++
+				}
+			}
+			if used != n {
+				t.Errorf("%v: %d of %d strips in use, want %d", tag, used, m, n)
+			}
+		}
+	}
+}
+
+func TestVerifyNeighborsPaperRules(t *testing.T) {
+	const strips = 1024
+	// (2:3): mod 0 verifies top only; mod 2 verifies below only.
+	top, below := Tag23.VerifyNeighbors(3, strips) // 3 mod 3 == 0
+	if !top || below {
+		t.Errorf("(2:3) strip≡0: top=%v below=%v, want top only", top, below)
+	}
+	top, below = Tag23.VerifyNeighbors(5, strips) // 5 mod 3 == 2
+	if top || !below {
+		t.Errorf("(2:3) strip≡2: top=%v below=%v, want below only", top, below)
+	}
+	// (1:2): interior strips verify nothing.
+	top, below = Tag12.VerifyNeighbors(4, strips)
+	if top || below {
+		t.Errorf("(1:2) interior: top=%v below=%v, want neither", top, below)
+	}
+	// (1:1): everything verified.
+	top, below = Tag11.VerifyNeighbors(10, strips)
+	if !top || !below {
+		t.Errorf("(1:1): top=%v below=%v, want both", top, below)
+	}
+}
+
+func TestVerifyNeighborsBoundaries(t *testing.T) {
+	const strips = 512
+	// First strip of a region always verifies its top neighbour; last strip
+	// always verifies below (§4.4 reliability rule).
+	if top, _ := Tag12.VerifyNeighbors(0, strips); !top {
+		t.Error("first strip must verify top")
+	}
+	if _, below := Tag12.VerifyNeighbors(strips-1, strips); !below {
+		t.Error("last strip must verify below")
+	}
+}
+
+func TestExpectedVerifiesPerWrite(t *testing.T) {
+	cases := []struct {
+		tag  Tag
+		want float64
+	}{
+		{Tag11, 2.0},
+		{Tag12, 0.0},
+		{Tag23, 1.0},
+		{Tag34, 4.0 / 3.0},
+	}
+	for _, c := range cases {
+		if got := c.tag.ExpectedVerifiesPerWrite(); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%v: expected verifies = %v, want %v", c.tag, got, c.want)
+		}
+	}
+}
+
+func TestVerifiesMonotoneInRatio(t *testing.T) {
+	// §6.6: from 1:2 to 2:3 to 3:4 to 1:1 the verification load increases
+	// monotonically.
+	seq := []Tag{Tag12, Tag23, Tag34, Tag11}
+	prev := -1.0
+	for _, tag := range seq {
+		v := tag.ExpectedVerifiesPerWrite()
+		if v <= prev {
+			t.Fatalf("verify load not increasing at %v: %v <= %v", tag, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestCapacityFraction(t *testing.T) {
+	if Tag12.CapacityFraction() != 0.5 || Tag11.CapacityFraction() != 1.0 {
+		t.Error("capacity fractions wrong")
+	}
+	if math.Abs(Tag23.CapacityFraction()-2.0/3.0) > 1e-12 {
+		t.Error("(2:3) capacity fraction wrong")
+	}
+}
+
+func TestTagString(t *testing.T) {
+	if Tag23.String() != "(2:3)" {
+		t.Errorf("String = %q", Tag23.String())
+	}
+}

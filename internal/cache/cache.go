@@ -1,0 +1,217 @@
+// Package cache implements the processor-side cache hierarchy of Table 2:
+// per-core private L1 (32 KB) and L2 (2 MB), and a private 32 MB DRAM L3,
+// all with 64 B lines, LRU replacement and write-back/write-allocate policy.
+//
+// The headline experiments replay main-memory-level traces (as the paper
+// replays PIN-captured main-memory references), so the hierarchy's role
+// there is its hit latencies only; the full filtering model is used by the
+// sdpcm-trace capture mode, which turns CPU-level access streams into
+// main-memory traces the way PIN + the cache model did for the authors.
+package cache
+
+import "fmt"
+
+// Cache is one set-associative, write-back, write-allocate cache level.
+type Cache struct {
+	name     string
+	sets     int
+	assoc    int
+	setShift uint
+
+	// ways[set*assoc+way]; LRU order kept by per-line stamp.
+	tags   []uint64
+	valid  []bool
+	dirty  []bool
+	stamps []uint64
+	clock  uint64
+
+	Stats Stats
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	Accesses   uint64
+	Hits       uint64
+	Misses     uint64
+	Writebacks uint64 // dirty evictions pushed to the next level
+}
+
+// MissRate returns misses/accesses.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// New builds a cache of the given total size in bytes with 64 B lines.
+// Size must be a power-of-two multiple of assoc*64.
+func New(name string, sizeBytes, assoc int) (*Cache, error) {
+	if assoc <= 0 || sizeBytes <= 0 {
+		return nil, fmt.Errorf("cache %s: size and associativity must be positive", name)
+	}
+	lines := sizeBytes / 64
+	if lines*64 != sizeBytes || lines%assoc != 0 {
+		return nil, fmt.Errorf("cache %s: size %dB not divisible into %d-way 64B sets", name, sizeBytes, assoc)
+	}
+	sets := lines / assoc
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cache %s: set count %d not a power of two", name, sets)
+	}
+	shift := uint(0)
+	for 1<<shift < sets {
+		shift++
+	}
+	return &Cache{
+		name:     name,
+		sets:     sets,
+		assoc:    assoc,
+		setShift: shift,
+		tags:     make([]uint64, lines),
+		valid:    make([]bool, lines),
+		dirty:    make([]bool, lines),
+		stamps:   make([]uint64, lines),
+	}, nil
+}
+
+// Result of one cache access.
+type Result struct {
+	Hit bool
+	// Writeback holds the victim line address when a dirty line was evicted.
+	Writeback    uint64
+	HasWriteback bool
+}
+
+// Access looks up line (a 64 B-granular address), allocating on miss.
+// write marks the line dirty.
+func (c *Cache) Access(line uint64, write bool) Result {
+	c.Stats.Accesses++
+	c.clock++
+	set := int(line & (uint64(c.sets) - 1))
+	tag := line >> c.setShift
+	base := set * c.assoc
+	// Hit?
+	for w := 0; w < c.assoc; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == tag {
+			c.Stats.Hits++
+			c.stamps[i] = c.clock
+			if write {
+				c.dirty[i] = true
+			}
+			return Result{Hit: true}
+		}
+	}
+	// Miss: pick invalid way or LRU victim.
+	c.Stats.Misses++
+	victim := base
+	for w := 0; w < c.assoc; w++ {
+		i := base + w
+		if !c.valid[i] {
+			victim = i
+			break
+		}
+		if c.stamps[i] < c.stamps[victim] {
+			victim = i
+		}
+	}
+	res := Result{}
+	if c.valid[victim] && c.dirty[victim] {
+		res.Writeback = c.tags[victim]<<c.setShift | uint64(set)
+		res.HasWriteback = true
+		c.Stats.Writebacks++
+	}
+	c.tags[victim] = tag
+	c.valid[victim] = true
+	c.dirty[victim] = write
+	c.stamps[victim] = c.clock
+	return res
+}
+
+// Contains reports whether the line is currently resident (no LRU update).
+func (c *Cache) Contains(line uint64) bool {
+	set := int(line & (uint64(c.sets) - 1))
+	tag := line >> c.setShift
+	base := set * c.assoc
+	for w := 0; w < c.assoc; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Lines returns the cache capacity in lines.
+func (c *Cache) Lines() int { return c.sets * c.assoc }
+
+// Hierarchy chains L1 → L2 → L3 for one core, per Table 2.
+type Hierarchy struct {
+	L1, L2, L3 *Cache
+	// Latencies in cycles for a hit at each level (L1 hits are folded into
+	// the 1-cycle instruction cost; L3 is the 50 ns DRAM cache = 200 cycles).
+	L1Hit, L2Hit, L3Hit int
+}
+
+// NewTable2Hierarchy builds the paper's per-core hierarchy.
+func NewTable2Hierarchy() (*Hierarchy, error) {
+	l1, err := New("L1", 32<<10, 4)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := New("L2", 2<<20, 4)
+	if err != nil {
+		return nil, err
+	}
+	l3, err := New("L3", 32<<20, 8)
+	if err != nil {
+		return nil, err
+	}
+	return &Hierarchy{L1: l1, L2: l2, L3: l3, L1Hit: 1, L2Hit: 12, L3Hit: 200}, nil
+}
+
+// Outcome describes where an access was serviced and what reached memory.
+type Outcome struct {
+	// Level is 1..3 for cache hits, 4 for main memory.
+	Level int
+	// HitCycles is the latency of the servicing level (memory latency is
+	// the memory controller's business and excluded).
+	HitCycles int
+	// MemReads is 1 when the miss reached main memory.
+	MemReads int
+	// MemWritebacks lists dirty lines evicted to main memory.
+	MemWritebacks []uint64
+}
+
+// Access runs one CPU access through the hierarchy.
+func (h *Hierarchy) Access(line uint64, write bool) Outcome {
+	out := Outcome{}
+	if r := h.L1.Access(line, write); r.Hit {
+		return Outcome{Level: 1, HitCycles: h.L1Hit}
+	} else if r.HasWriteback {
+		// L1 victim goes to L2 (dirty fill).
+		if r2 := h.L2.Access(r.Writeback, true); !r2.Hit && r2.HasWriteback {
+			if r3 := h.L3.Access(r2.Writeback, true); !r3.Hit && r3.HasWriteback {
+				out.MemWritebacks = append(out.MemWritebacks, r3.Writeback)
+			}
+		}
+	}
+	if r := h.L2.Access(line, false); r.Hit {
+		out.Level, out.HitCycles = 2, h.L2Hit
+		return out
+	} else if r.HasWriteback {
+		if r3 := h.L3.Access(r.Writeback, true); !r3.Hit && r3.HasWriteback {
+			out.MemWritebacks = append(out.MemWritebacks, r3.Writeback)
+		}
+	}
+	if r := h.L3.Access(line, false); r.Hit {
+		out.Level, out.HitCycles = 3, h.L3Hit
+		return out
+	} else if r.HasWriteback {
+		out.MemWritebacks = append(out.MemWritebacks, r.Writeback)
+	}
+	out.Level = 4
+	out.HitCycles = h.L3Hit // traversal cost before memory
+	out.MemReads = 1
+	return out
+}

@@ -1,0 +1,194 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustCache(t *testing.T, name string, size, assoc int) *Cache {
+	t.Helper()
+	c, err := New(name, size, assoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("bad", 0, 4); err == nil {
+		t.Error("zero size must be rejected")
+	}
+	if _, err := New("bad", 1024, 0); err == nil {
+		t.Error("zero assoc must be rejected")
+	}
+	if _, err := New("bad", 100, 4); err == nil {
+		t.Error("non-64B-multiple size must be rejected")
+	}
+	if _, err := New("bad", 3*64*4, 4); err == nil {
+		t.Error("non-power-of-two set count must be rejected")
+	}
+	c := mustCache(t, "ok", 32<<10, 4)
+	if c.Lines() != 512 {
+		t.Errorf("32KB cache has %d lines, want 512", c.Lines())
+	}
+}
+
+func TestHitAfterMiss(t *testing.T) {
+	c := mustCache(t, "c", 4096, 4)
+	if r := c.Access(7, false); r.Hit {
+		t.Fatal("cold access must miss")
+	}
+	if r := c.Access(7, false); !r.Hit {
+		t.Fatal("second access must hit")
+	}
+	if c.Stats.Hits != 1 || c.Stats.Misses != 1 {
+		t.Fatalf("stats = %+v", c.Stats)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Direct-mapped-ish: 2-way, fill a set with 2 lines, touch the first,
+	// insert a third: the second (LRU) must be evicted.
+	c := mustCache(t, "c", 2*64*4, 2) // 4 sets, 2 ways
+	const set = 1
+	a := uint64(set)     // tag 0
+	b := uint64(set + 4) // tag 1, same set
+	d := uint64(set + 8) // tag 2, same set
+	c.Access(a, false)
+	c.Access(b, false)
+	c.Access(a, false) // a is MRU
+	c.Access(d, false) // evicts b
+	if !c.Contains(a) || !c.Contains(d) {
+		t.Fatal("a and d must be resident")
+	}
+	if c.Contains(b) {
+		t.Fatal("b must have been evicted (LRU)")
+	}
+}
+
+func TestDirtyWriteback(t *testing.T) {
+	c := mustCache(t, "c", 64*2, 2) // 1 set, 2 ways
+	c.Access(0, true)               // dirty
+	c.Access(1, false)              // clean
+	r := c.Access(2, false)         // evicts line 0 (LRU, dirty)
+	if !r.HasWriteback || r.Writeback != 0 {
+		t.Fatalf("expected writeback of line 0, got %+v", r)
+	}
+	r = c.Access(3, false) // evicts line 1 (clean)
+	if r.HasWriteback {
+		t.Fatal("clean eviction must not write back")
+	}
+	if c.Stats.Writebacks != 1 {
+		t.Fatalf("writebacks = %d", c.Stats.Writebacks)
+	}
+}
+
+func TestWriteHitMarksDirty(t *testing.T) {
+	c := mustCache(t, "c", 64*2, 2)
+	c.Access(0, false) // clean fill
+	c.Access(0, true)  // write hit: now dirty
+	c.Access(1, false)
+	r := c.Access(2, false) // evicts 0
+	if !r.HasWriteback {
+		t.Fatal("write-hit line must be written back on eviction")
+	}
+}
+
+func TestInclusionOfWorkingSet(t *testing.T) {
+	// A working set smaller than the cache must stop missing entirely.
+	c := mustCache(t, "c", 32<<10, 4)
+	for pass := 0; pass < 3; pass++ {
+		for line := uint64(0); line < 256; line++ {
+			c.Access(line, false)
+		}
+	}
+	// Last two passes must be all hits.
+	if c.Stats.Misses != 256 {
+		t.Fatalf("misses = %d, want 256 (cold only)", c.Stats.Misses)
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	c := mustCache(t, "c", 4096, 4)
+	if c.Stats.MissRate() != 0 {
+		t.Fatal("empty cache must report 0 miss rate")
+	}
+	c.Access(1, false)
+	c.Access(1, false)
+	if got := c.Stats.MissRate(); got != 0.5 {
+		t.Fatalf("miss rate = %v, want 0.5", got)
+	}
+}
+
+func TestWritebackAddressRoundTrip(t *testing.T) {
+	// Property: the writeback address always equals the originally inserted
+	// line address.
+	if err := quick.Check(func(lines []uint64) bool {
+		c, err := New("p", 64*8, 2) // 4 sets, 2 ways: evicts often
+		if err != nil {
+			return false
+		}
+		inserted := map[uint64]bool{}
+		for _, l := range lines {
+			l %= 1 << 20
+			r := c.Access(l, true)
+			inserted[l] = true
+			if r.HasWriteback && !inserted[r.Writeback] {
+				return false // wrote back a line never inserted
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHierarchyLevels(t *testing.T) {
+	h, err := NewTable2Hierarchy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := h.Access(42, false)
+	if o.Level != 4 || o.MemReads != 1 {
+		t.Fatalf("cold access = %+v, want memory", o)
+	}
+	o = h.Access(42, false)
+	if o.Level != 1 || o.HitCycles != h.L1Hit {
+		t.Fatalf("second access = %+v, want L1 hit", o)
+	}
+}
+
+func TestHierarchyFiltersTraffic(t *testing.T) {
+	h, err := NewTable2Hierarchy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	memReads := 0
+	// Loop over a small working set: only cold misses reach memory.
+	for pass := 0; pass < 5; pass++ {
+		for line := uint64(0); line < 100; line++ {
+			o := h.Access(line, pass == 0)
+			memReads += o.MemReads
+		}
+	}
+	if memReads != 100 {
+		t.Fatalf("memory reads = %d, want 100 cold misses", memReads)
+	}
+}
+
+func TestHierarchyWritebackReachesMemory(t *testing.T) {
+	// Dirty a huge streaming footprint so L3 must eventually evict dirty
+	// lines to memory.
+	h, err := NewTable2Hierarchy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wbs int
+	for line := uint64(0); line < 2<<20; line++ {
+		o := h.Access(line, true)
+		wbs += len(o.MemWritebacks)
+	}
+	if wbs == 0 {
+		t.Fatal("streaming dirty footprint must produce memory writebacks")
+	}
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"math"
+
+	"sdpcm/internal/pcm"
+)
+
+// EndOfLifeMeanHardErrors is the mean per-line hard-error count when the
+// DIMM reaches its lifetime limit. ECP was provisioned for hard errors
+// (ECP-6); a DIMM is end-of-life when the tail of the distribution starts
+// exceeding the entries. With a Poisson mean of 1.5, about 0.4% of lines
+// have 6+ hard errors at end of life — the tail that actually retires the
+// DIMM — while the typical line still keeps 4+ entries free for
+// LazyCorrection, matching Fig. 14's near-flat performance curve.
+const EndOfLifeMeanHardErrors = 1.5
+
+// HardErrorModel returns a deterministic per-line hard-error count for a
+// DIMM at the given fraction of its lifetime (Fig. 14). Counts follow a
+// Poisson distribution with mean EndOfLifeMeanHardErrors*fraction, sampled
+// by inverse CDF from a per-address hash, so the same line always reports
+// the same wear and runs remain reproducible.
+func HardErrorModel(lifetimeFraction float64) func(pcm.LineAddr) int {
+	if lifetimeFraction <= 0 {
+		return nil
+	}
+	if lifetimeFraction > 1 {
+		lifetimeFraction = 1
+	}
+	lambda := EndOfLifeMeanHardErrors * lifetimeFraction
+	expNegLambda := math.Exp(-lambda)
+	return func(a pcm.LineAddr) int {
+		// SplitMix64 hash of the address → uniform in [0,1).
+		z := uint64(a) + 0x9e3779b97f4a7c15
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		u := float64(z>>11) / (1 << 53)
+		// Inverse CDF of Poisson(lambda).
+		p := expNegLambda
+		cdf := p
+		k := 0
+		for u > cdf && k < 64 {
+			k++
+			p *= lambda / float64(k)
+			cdf += p
+		}
+		return k
+	}
+}

@@ -1,0 +1,99 @@
+// Package cpu models the processor front end used for trace capture: an
+// in-order, single-issue core issuing CPU-level memory accesses through the
+// Table 2 cache hierarchy. What filters through to main memory — annotated
+// with the instruction distance between misses — is exactly the kind of
+// trace the paper captured with PIN (§5.2), and what the simulator replays.
+package cpu
+
+import (
+	"fmt"
+
+	"sdpcm/internal/cache"
+	"sdpcm/internal/trace"
+	"sdpcm/internal/workload"
+)
+
+// CaptureConfig parameterises one capture run.
+type CaptureConfig struct {
+	// Spec is the CPU-level behaviour model: its RPKI/WPKI are interpreted
+	// as *CPU access* rates (accesses per thousand instructions), of which
+	// the hierarchy filters out the hits.
+	Spec workload.Spec
+	// MemoryRefs is the number of main-memory references to capture (the
+	// paper captured 10M per application).
+	MemoryRefs int
+	// WarmupRefs is the number of leading memory references discarded while
+	// the caches warm up (the paper skips initialisation and warms caches).
+	WarmupRefs int
+	// Seed drives the access stream.
+	Seed uint64
+	// Hierarchy overrides the cache hierarchy (nil selects the Table 2
+	// configuration). Useful for tests and scaled-down captures.
+	Hierarchy *cache.Hierarchy
+}
+
+// CaptureResult is a captured trace plus its filtering statistics.
+type CaptureResult struct {
+	Records []trace.Record
+	// CPUAccesses and Instructions are the totals consumed upstream.
+	CPUAccesses  uint64
+	Instructions uint64
+	// L1, L2, L3 expose the hierarchy's hit statistics.
+	L1, L2, L3 cache.Stats
+}
+
+// Capture runs the core model until MemoryRefs main-memory references have
+// been recorded.
+func Capture(cfg CaptureConfig) (CaptureResult, error) {
+	if cfg.MemoryRefs <= 0 {
+		return CaptureResult{}, fmt.Errorf("cpu: MemoryRefs must be positive")
+	}
+	gen, err := workload.NewGenerator(cfg.Spec, cfg.Seed)
+	if err != nil {
+		return CaptureResult{}, err
+	}
+	h := cfg.Hierarchy
+	if h == nil {
+		h, err = cache.NewTable2Hierarchy()
+		if err != nil {
+			return CaptureResult{}, err
+		}
+	}
+	res := CaptureResult{Records: make([]trace.Record, 0, cfg.MemoryRefs)}
+	var sinceLast uint64 // instructions since the last captured reference
+	warmupLeft := cfg.WarmupRefs
+
+	emit := func(line uint64, kind trace.Kind) {
+		if warmupLeft > 0 {
+			warmupLeft--
+			sinceLast = 0
+			return
+		}
+		gap := sinceLast
+		if gap > uint64(^uint32(0)) {
+			gap = uint64(^uint32(0))
+		}
+		res.Records = append(res.Records, trace.Record{Kind: kind, Line: line, Gap: uint32(gap)})
+		sinceLast = 0
+	}
+
+	for len(res.Records) < cfg.MemoryRefs {
+		rec, _ := gen.Next()
+		res.CPUAccesses++
+		res.Instructions += uint64(rec.Gap) + 1
+		sinceLast += uint64(rec.Gap) + 1
+		out := h.Access(rec.Line, rec.Kind == trace.Write)
+		// Dirty evictions reach memory as writes.
+		for _, wb := range out.MemWritebacks {
+			emit(wb, trace.Write)
+			if len(res.Records) >= cfg.MemoryRefs {
+				break
+			}
+		}
+		if out.MemReads > 0 && len(res.Records) < cfg.MemoryRefs {
+			emit(rec.Line, trace.Read)
+		}
+	}
+	res.L1, res.L2, res.L3 = h.L1.Stats, h.L2.Stats, h.L3.Stats
+	return res, nil
+}

@@ -1,0 +1,138 @@
+package cpu
+
+import (
+	"testing"
+
+	"sdpcm/internal/cache"
+	"sdpcm/internal/trace"
+	"sdpcm/internal/workload"
+)
+
+// smallHierarchy returns a scaled-down hierarchy so write-backs appear
+// within short captures.
+func smallHierarchy(t *testing.T) *cache.Hierarchy {
+	t.Helper()
+	l1, err := cache.New("L1", 4<<10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := cache.New("L2", 32<<10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l3, err := cache.New("L3", 256<<10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &cache.Hierarchy{L1: l1, L2: l2, L3: l3, L1Hit: 1, L2Hit: 12, L3Hit: 200}
+}
+
+func captureSpec() workload.Spec {
+	// A CPU-level behaviour model: high access rate, modest footprint so
+	// the hierarchy filters meaningfully but still misses.
+	return workload.Spec{
+		Name: "capture-test", RPKI: 120, WPKI: 60, FootprintPages: 60000,
+		SeqProb: 0.3, HotProb: 0.5, HotFrac: 0.02, WriteChunkChange: 0.1,
+	}
+}
+
+func TestCaptureProducesRequestedRefs(t *testing.T) {
+	res, err := Capture(CaptureConfig{Spec: captureSpec(), MemoryRefs: 2000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 2000 {
+		t.Fatalf("captured %d records, want 2000", len(res.Records))
+	}
+	if res.CPUAccesses == 0 || res.Instructions == 0 {
+		t.Fatal("no upstream activity recorded")
+	}
+}
+
+func TestCaptureFilters(t *testing.T) {
+	res, err := Capture(CaptureConfig{Spec: captureSpec(), MemoryRefs: 3000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hierarchy must absorb a large share of CPU accesses: memory refs
+	// well below CPU accesses, and L1 must have real hits.
+	if uint64(len(res.Records)) >= res.CPUAccesses {
+		t.Fatalf("no filtering: %d refs from %d accesses", len(res.Records), res.CPUAccesses)
+	}
+	if res.L1.Hits == 0 {
+		t.Fatal("L1 never hit")
+	}
+	// Captured memory intensity (RPKI+WPKI of the trace) must be below the
+	// CPU access intensity.
+	st := trace.Summarize(res.Records)
+	cpuPKI := captureSpec().RPKI + captureSpec().WPKI
+	if st.RPKI()+st.WPKI() >= cpuPKI {
+		t.Fatalf("trace intensity %.1f not filtered below CPU intensity %.1f",
+			st.RPKI()+st.WPKI(), cpuPKI)
+	}
+}
+
+func TestCaptureContainsWritebacks(t *testing.T) {
+	res, err := Capture(CaptureConfig{
+		Spec: captureSpec(), MemoryRefs: 5000, Seed: 3,
+		Hierarchy: smallHierarchy(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := trace.Summarize(res.Records)
+	if st.Writes == 0 {
+		t.Fatal("capture produced no write-backs")
+	}
+	if st.Reads == 0 {
+		t.Fatal("capture produced no demand reads")
+	}
+}
+
+func TestCaptureWarmup(t *testing.T) {
+	a, err := Capture(CaptureConfig{Spec: captureSpec(), MemoryRefs: 500, WarmupRefs: 500, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Capture(CaptureConfig{Spec: captureSpec(), MemoryRefs: 500, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warmup must change what gets captured (the cold-miss burst is gone).
+	same := 0
+	for i := range a.Records {
+		if a.Records[i] == b.Records[i] {
+			same++
+		}
+	}
+	if same == len(a.Records) {
+		t.Fatal("warmup had no effect on the captured stream")
+	}
+}
+
+func TestCaptureDeterminism(t *testing.T) {
+	run := func() []trace.Record {
+		res, err := Capture(CaptureConfig{Spec: captureSpec(), MemoryRefs: 1000, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Records
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("capture not deterministic at record %d", i)
+		}
+	}
+}
+
+func TestCaptureValidation(t *testing.T) {
+	if _, err := Capture(CaptureConfig{Spec: captureSpec(), MemoryRefs: 0}); err == nil {
+		t.Fatal("zero MemoryRefs must be rejected")
+	}
+	bad := captureSpec()
+	bad.FootprintPages = 0
+	if _, err := Capture(CaptureConfig{Spec: bad, MemoryRefs: 10}); err == nil {
+		t.Fatal("invalid spec must be rejected")
+	}
+}

@@ -1,0 +1,151 @@
+// Package geometry models PCM cell-array layout and the capacity / chip-area
+// arithmetic of SD-PCM §6.1 and Figure 1.
+//
+// All linear dimensions are expressed in units of the feature size F (20 nm
+// for every experiment in the paper). A cell layout is characterised by its
+// pitch along the word-line and along the bit-line; the minimal diode-switch
+// cell is 2F x 2F = 4F². Write disturbance is suppressed physically by
+// enlarging a pitch (thermal band), at the price of array density:
+//
+//	super dense (SD-PCM): 2F x 2F = 4F²   — WD along both axes
+//	DIN-enhanced:         2F x 4F = 8F²   — WD along word-lines only
+//	prototype chip [8]:   3F x 4F = 12F²  — WD-free
+package geometry
+
+import "fmt"
+
+// FeatureSizeNM is the technology node used throughout the paper.
+const FeatureSizeNM = 20
+
+// CellArrayFraction is the fraction of total chip area occupied by cell
+// arrays in the 20nm prototype chip [8]; the rest is periphery.
+const CellArrayFraction = 0.466
+
+// Layout describes a PCM cell array layout by its cell pitch, in feature
+// sizes, along the word-line (horizontal) and bit-line (vertical) directions.
+type Layout struct {
+	Name string
+	// WordLinePitchF is the centre-to-centre distance between two cells on
+	// the same word-line, in units of F.
+	WordLinePitchF int
+	// BitLinePitchF is the centre-to-centre distance between two cells on
+	// the same bit-line, in units of F.
+	BitLinePitchF int
+}
+
+// Standard layouts discussed in the paper (Figure 1).
+var (
+	// SuperDense is the ideal 4F² diode-switch layout targeted by SD-PCM.
+	SuperDense = Layout{Name: "super-dense", WordLinePitchF: 2, BitLinePitchF: 2}
+	// DINEnhanced shrinks word-line spacing only (8F²), per [10].
+	DINEnhanced = Layout{Name: "din-enhanced", WordLinePitchF: 2, BitLinePitchF: 4}
+	// Prototype is the WD-free low density prototype chip layout (12F²) [8].
+	Prototype = Layout{Name: "prototype", WordLinePitchF: 3, BitLinePitchF: 4}
+)
+
+// CellAreaF2 returns the area of one cell in units of F².
+func (l Layout) CellAreaF2() int {
+	return l.WordLinePitchF * l.BitLinePitchF
+}
+
+// InterCellSpaceNM returns the extra inter-cell space beyond the minimal 2F
+// pitch, in nanometres, along the word-line and bit-line directions.
+func (l Layout) InterCellSpaceNM() (wordLine, bitLine int) {
+	return (l.WordLinePitchF - 2) * FeatureSizeNM, (l.BitLinePitchF - 2) * FeatureSizeNM
+}
+
+// DensityRelativeTo returns how many cells of layout l fit in the area of
+// one cell of layout other (capacity ratio for equal array area).
+func (l Layout) DensityRelativeTo(other Layout) float64 {
+	return float64(other.CellAreaF2()) / float64(l.CellAreaF2())
+}
+
+// String implements fmt.Stringer.
+func (l Layout) String() string {
+	return fmt.Sprintf("%s (%dF²/cell)", l.Name, l.CellAreaF2())
+}
+
+// Valid reports whether the layout has physically meaningful pitches.
+func (l Layout) Valid() bool {
+	return l.WordLinePitchF >= 2 && l.BitLinePitchF >= 2
+}
+
+// DIMMConfig describes the chip composition of one PCM rank as in Figure 6:
+// eight data chips plus one ECP chip on a 72-bit bus.
+type DIMMConfig struct {
+	DataChips int // number of data chips per rank (8 in the paper)
+	ECPChips  int // number of ECP chips per rank (1 in the paper)
+}
+
+// PaperDIMM is the x72 organisation used throughout the evaluation.
+var PaperDIMM = DIMMConfig{DataChips: 8, ECPChips: 1}
+
+// CapacityComparison captures the §6.1 equal-cell-array-area comparison
+// between SD-PCM and the DIN-enhanced design.
+type CapacityComparison struct {
+	// SDPCMCapacityGB and DINCapacityGB are the usable data capacities when
+	// both designs are granted the same total cell-array silicon area.
+	SDPCMCapacityGB float64
+	DINCapacityGB   float64
+	// ImprovementFraction is (SDPCM-DIN)/DIN, the headline 80%.
+	ImprovementFraction float64
+}
+
+// CompareCapacity reproduces the §6.1 analysis for a memory of
+// sdpcmCapacityGB (4 GB in the paper) built as cfg.
+//
+// SD-PCM data chips use the super dense (4F²) layout; its single ECP chip is
+// low density (8F²) and therefore needs twice the array area of a data chip
+// to cover every data row. DIN uses 8F² for data and ECP alike. Holding the
+// *total* cell-array area of the two designs equal, DIN's capacity follows.
+func CompareCapacity(sdpcmCapacityGB float64, cfg DIMMConfig) CapacityComparison {
+	d := float64(cfg.DataChips)
+	e := float64(cfg.ECPChips)
+	// Let A be the array area of one super dense data chip holding
+	// sdpcmCapacityGB/d. The low density ECP chip covering the same row
+	// count needs 2A per chip. Total SD-PCM array area:
+	total := d + 2*e // in units of A
+	// DIN splits the same total area across (d data + e ECP) chips of equal
+	// per-chip area a = total/(d+e); each data chip is 8F² so holds half the
+	// bits per area of a super dense chip.
+	perChipArea := total / (d + e)
+	perDataChipCapacity := perChipArea / 2 * (sdpcmCapacityGB / d)
+	din := d * perDataChipCapacity
+	return CapacityComparison{
+		SDPCMCapacityGB:     sdpcmCapacityGB,
+		DINCapacityGB:       din,
+		ImprovementFraction: (sdpcmCapacityGB - din) / din,
+	}
+}
+
+// ChipSizeReductionSameChips reproduces the first §6.1 chip-count argument:
+// building the same capacity from identical-size chips, DIN needs twice the
+// data chips (8F² vs 4F²) and proportionally more ECP chips. The return value
+// is the fractional reduction in total chip count (a proxy for board area).
+func ChipSizeReductionSameChips(cfg DIMMConfig) float64 {
+	dinChips := float64(2*cfg.DataChips + 2*cfg.ECPChips)
+	sdChips := float64(cfg.DataChips + 2*cfg.ECPChips)
+	return (dinChips - sdChips) / dinChips
+}
+
+// ChipSizeReductionBigChips reproduces the second §6.1 argument: DIN built
+// from "big" low density chips (8 data + 1 ECP) versus SD-PCM built from 8
+// "small" super dense data chips plus 1 big ECP chip. A small chip shrinks
+// only its cell array (half the area), so its total size is
+// periphery + array/2 = (1-CellArrayFraction) + CellArrayFraction/2 of a big
+// chip. The paper's 20% figure is (0.77*8+1)/(8+1) ≈ 0.80.
+func ChipSizeReductionBigChips(cfg DIMMConfig) float64 {
+	small := (1 - CellArrayFraction) + CellArrayFraction/2
+	d := float64(cfg.DataChips)
+	e := float64(cfg.ECPChips)
+	return 1 - (small*d+e)/(d+e)
+}
+
+// ArrayDensityImprovementToChipReduction converts a cell-array density
+// improvement into whole-chip size reduction given the array area fraction,
+// e.g. DIN's 33% array improvement is a 15.4% chip reduction (§3.1).
+func ArrayDensityImprovementToChipReduction(arrayImprovement float64) float64 {
+	// New array area = old/(1+improvement); chip = periphery + array.
+	newChip := (1 - CellArrayFraction) + CellArrayFraction/(1+arrayImprovement)
+	return 1 - newChip
+}

@@ -1,0 +1,145 @@
+package geometry
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(got, want, tol float64) bool { return math.Abs(got-want) <= tol }
+
+func TestCellAreas(t *testing.T) {
+	cases := []struct {
+		l    Layout
+		want int
+	}{
+		{SuperDense, 4},
+		{DINEnhanced, 8},
+		{Prototype, 12},
+	}
+	for _, c := range cases {
+		if got := c.l.CellAreaF2(); got != c.want {
+			t.Errorf("%s: area %dF², want %dF²", c.l.Name, got, c.want)
+		}
+	}
+}
+
+func TestInterCellSpace(t *testing.T) {
+	// Prototype chip adds 20nm along word-lines and 40nm along bit-lines
+	// at F=20nm (§1, §3.1).
+	w, b := Prototype.InterCellSpaceNM()
+	if w != 20 || b != 40 {
+		t.Fatalf("prototype spacing = (%d,%d)nm, want (20,40)", w, b)
+	}
+	w, b = SuperDense.InterCellSpaceNM()
+	if w != 0 || b != 0 {
+		t.Fatalf("super dense spacing = (%d,%d)nm, want (0,0)", w, b)
+	}
+	w, b = DINEnhanced.InterCellSpaceNM()
+	if w != 0 || b != 40 {
+		t.Fatalf("DIN spacing = (%d,%d)nm, want (0,40)", w, b)
+	}
+}
+
+func TestDensityRatios(t *testing.T) {
+	// Prototype achieves only 33% of ideal capacity (§1).
+	if got := Prototype.DensityRelativeTo(SuperDense); !approx(got, 1.0/3.0, 1e-9) {
+		t.Errorf("prototype vs ideal density = %v, want 1/3", got)
+	}
+	// DIN doubles density over... DIN is half of ideal (§3.1: 50% loss).
+	if got := DINEnhanced.DensityRelativeTo(SuperDense); !approx(got, 0.5, 1e-9) {
+		t.Errorf("DIN vs ideal density = %v, want 0.5", got)
+	}
+	// DIN is a 33% capacity increase over the prototype.
+	rel := DINEnhanced.DensityRelativeTo(Prototype)
+	if !approx(rel, 1.5, 1e-9) {
+		t.Errorf("DIN vs prototype density = %v, want 1.5", rel)
+	}
+}
+
+func TestDensityRelativeToSelf(t *testing.T) {
+	if err := quick.Check(func(w, b uint8) bool {
+		l := Layout{WordLinePitchF: int(w%6) + 2, BitLinePitchF: int(b%6) + 2}
+		return approx(l.DensityRelativeTo(l), 1, 1e-12)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDensityReciprocal(t *testing.T) {
+	if err := quick.Check(func(w1, b1, w2, b2 uint8) bool {
+		a := Layout{WordLinePitchF: int(w1%6) + 2, BitLinePitchF: int(b1%6) + 2}
+		c := Layout{WordLinePitchF: int(w2%6) + 2, BitLinePitchF: int(b2%6) + 2}
+		return approx(a.DensityRelativeTo(c)*c.DensityRelativeTo(a), 1, 1e-12)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareCapacityHeadline(t *testing.T) {
+	// §6.1: 4GB SD-PCM vs 2.22GB DIN for equal total cell array area; 80%.
+	c := CompareCapacity(4, PaperDIMM)
+	if !approx(c.DINCapacityGB, 2.222, 0.01) {
+		t.Errorf("DIN capacity = %vGB, want ~2.22GB", c.DINCapacityGB)
+	}
+	if !approx(c.ImprovementFraction, 0.80, 0.01) {
+		t.Errorf("capacity improvement = %v, want ~0.80", c.ImprovementFraction)
+	}
+}
+
+func TestCompareCapacityScales(t *testing.T) {
+	// The improvement fraction must be independent of the absolute capacity.
+	a := CompareCapacity(4, PaperDIMM)
+	b := CompareCapacity(16, PaperDIMM)
+	if !approx(a.ImprovementFraction, b.ImprovementFraction, 1e-9) {
+		t.Errorf("improvement depends on capacity: %v vs %v",
+			a.ImprovementFraction, b.ImprovementFraction)
+	}
+}
+
+func TestChipSizeReductionBigChips(t *testing.T) {
+	// §6.1: (0.77*8+1)/(8+1) => ~20% reduction.
+	got := ChipSizeReductionBigChips(PaperDIMM)
+	if !approx(got, 0.20, 0.015) {
+		t.Errorf("big-chip reduction = %v, want ~0.20", got)
+	}
+}
+
+func TestChipSizeReductionSameChips(t *testing.T) {
+	// §6.1: 16+2 chips vs 8+2 chips. The paper quotes ~38%; the raw chip
+	// count ratio gives (18-10)/18 ≈ 44%. We assert the count arithmetic and
+	// document the delta in EXPERIMENTS.md.
+	got := ChipSizeReductionSameChips(PaperDIMM)
+	if !approx(got, (18.0-10.0)/18.0, 1e-9) {
+		t.Errorf("same-chip reduction = %v, want %v", got, 8.0/18.0)
+	}
+}
+
+func TestArrayToChipReduction(t *testing.T) {
+	// §3.1: DIN's 33% array density improvement is a 15.4% chip reduction.
+	got := ArrayDensityImprovementToChipReduction(1.0 / 3.0)
+	if !approx(got, 0.1165, 0.002) {
+		// 0.466 - 0.466/(4/3) = 0.466*(1-0.75) = 0.1165. The paper quotes
+		// 15.4%, implying a slightly different area fraction; the shape
+		// (array gain shrinks when diluted by periphery) is what matters.
+		t.Errorf("chip reduction = %v, want ~0.117", got)
+	}
+	if ArrayDensityImprovementToChipReduction(0) != 0 {
+		t.Error("zero array improvement must give zero chip reduction")
+	}
+}
+
+func TestLayoutValid(t *testing.T) {
+	if !SuperDense.Valid() || !DINEnhanced.Valid() || !Prototype.Valid() {
+		t.Fatal("standard layouts must be valid")
+	}
+	if (Layout{WordLinePitchF: 1, BitLinePitchF: 2}).Valid() {
+		t.Fatal("sub-2F pitch must be invalid")
+	}
+}
+
+func TestLayoutString(t *testing.T) {
+	if got := SuperDense.String(); got != "super-dense (4F²/cell)" {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,537 @@
+// Package mc implements the SD-PCM memory controller (§4): per-bank write
+// queues with bursty drain, the basic Verify-and-Correct (VnC) write flow
+// with cascading verification, and the paper's three mitigation schemes —
+// LazyCorrection (§4.2), PreRead (§4.3) and (n:m)-Alloc-aware verification
+// skipping (§4.4) — plus write cancellation integration (§6.8).
+//
+// The controller is driven in global time order by the simulator: every
+// public method takes `now` (the cycle the request reaches the controller)
+// and returns completion times. Banks are modelled as serially-busy
+// resources (`freeAt`); queued write work executes lazily as simulated time
+// passes it, which lets write cancellation preempt a drain at write-op
+// granularity without rolling back device state.
+package mc
+
+import (
+	"fmt"
+
+	"sdpcm/internal/alloc"
+	"sdpcm/internal/din"
+	"sdpcm/internal/ecp"
+	"sdpcm/internal/pcm"
+	"sdpcm/internal/rng"
+	"sdpcm/internal/thermal"
+	"sdpcm/internal/wd"
+)
+
+// Config selects the scheme composition and device parameters.
+type Config struct {
+	// Timing defaults to pcm.DefaultTiming when zero.
+	Timing pcm.Timing
+	// Rates are the per-axis disturbance probabilities of the chosen cell
+	// layout (thermal.RatesFor).
+	Rates thermal.Rates
+	// VerifyNeighbors enables the bit-line VnC machinery. False models
+	// WD-free bit-lines (DIN's 8F² layout or the 12F² prototype), where
+	// writes need no adjacent-line handling.
+	VerifyNeighbors bool
+	// LazyCorrection parks detected WD errors in free ECP entries instead
+	// of immediately rewriting the disturbed line (§4.2).
+	LazyCorrection bool
+	// ECPEntries is N of ECP-N (6 by default in the paper). Zero entries
+	// with LazyCorrection on degenerates to basic VnC.
+	ECPEntries int
+	// PreRead issues the two pre-write reads from the write queue during
+	// bank idle slots (§4.3).
+	PreRead bool
+	// WriteCancel lets demand reads preempt a write burst at write-op
+	// boundaries instead of waiting for the whole drain (§6.8 [22]).
+	WriteCancel bool
+	// WriteQueueCap is the per-bank write queue capacity (32 in Table 2).
+	WriteQueueCap int
+	// LowWatermark is the queue depth background draining drains down to:
+	// writes above it are retired during bank idle time (read-priority
+	// scheduling); writes below it wait in the queue — the population
+	// PreRead works on. A full queue still triggers the §5.1 bursty drain
+	// (to the watermark), which blocks that bank's reads. Defaults to a
+	// quarter of WriteQueueCap.
+	LowWatermark int
+	// UseDIN enables the word-line disturbance-aware encoding. All
+	// evaluated schemes keep it on (§4.1); turning it off exposes raw
+	// word-line WD for the Figure 4 study.
+	UseDIN bool
+	// Encoder overrides the word-line codec (nil selects DIN when UseDIN
+	// is set, identity otherwise). Used by the encoding ablation to swap
+	// in Flip-N-Write or raw storage.
+	Encoder Encoder
+	// ForwardCycles is the latency of servicing a read from the write
+	// queue's data buffer.
+	ForwardCycles int
+	// ChargeVerify / ChargeCorrect control whether verification reads and
+	// correction work consume bank time. Both default true; switching one
+	// off isolates the other's overhead (the Figure 5 decomposition).
+	// Device/ECP state effects always happen regardless.
+	ChargeVerify, ChargeCorrect bool
+	// MaxCascadeDepth bounds cascading verification recursion.
+	MaxCascadeDepth int
+	// HardErrorFn, when set, pre-populates per-line ECP hard-error
+	// occupancy (lifetime experiments, Fig. 14).
+	HardErrorFn func(pcm.LineAddr) int
+}
+
+// normalized fills defaults.
+func (c Config) normalized() Config {
+	if c.Timing == (pcm.Timing{}) {
+		c.Timing = pcm.DefaultTiming
+	}
+	if c.WriteQueueCap <= 0 {
+		c.WriteQueueCap = 32
+	}
+	if c.LowWatermark <= 0 {
+		c.LowWatermark = c.WriteQueueCap / 4
+	}
+	if c.LowWatermark >= c.WriteQueueCap {
+		c.LowWatermark = c.WriteQueueCap - 1
+	}
+	if c.ForwardCycles <= 0 {
+		c.ForwardCycles = 40
+	}
+	if c.MaxCascadeDepth <= 0 {
+		c.MaxCascadeDepth = 64
+	}
+	return c
+}
+
+// Stats aggregates controller activity.
+type Stats struct {
+	DemandReads    uint64
+	ForwardedReads uint64
+	WriteRequests  uint64
+	Coalesced      uint64 // write requests merged into an existing entry
+	WriteOps       uint64 // write operations executed on the array
+	Drains         uint64 // bursty drains triggered by a full queue
+
+	PreReadsIssued    uint64
+	PreReadsForwarded uint64 // satisfied from the write queue, no bank time
+	PreReadsCanceled  uint64
+	PreReadHits       uint64 // write ops that found both pre-reads done
+
+	VerifyReads      uint64 // pre+post adjacent-line reads at write ops
+	CascadeReads     uint64 // verification reads triggered by corrections
+	CorrectionWrites uint64
+	LazyRecords      uint64 // error batches absorbed by ECP without correction
+	CascadeTruncated uint64 // cascades cut by MaxCascadeDepth
+
+	ReadPreemptions uint64 // reads that preempted a drain (write cancellation)
+
+	BurstOps      uint64 // write ops executed inside a full-queue bursty drain
+	BackgroundOps uint64 // write ops executed during bank idle time
+
+	// Cycle decomposition across all banks.
+	ProgramCycles uint64
+	VerifyCycles  uint64
+	CorrectCycles uint64
+	ReadCycles    uint64
+
+	// Latency accounting for demand reads.
+	ReadLatencySum uint64
+	ReadWaitSum    uint64 // queueing component of read latency
+}
+
+// Encoder is the word-line codec contract: a stored-image transform with
+// per-line state. *din.Codec (including its nil identity form) and
+// *fnw.Codec implement it.
+type Encoder interface {
+	Encode(a pcm.LineAddr, data, stored pcm.Line) pcm.Line
+	Decode(a pcm.LineAddr, stored pcm.Line) pcm.Line
+	Forget(a pcm.LineAddr)
+}
+
+// prOp is an in-flight PreRead occupying bank time; cancellable by a demand
+// read until its end time passes.
+type prOp struct {
+	start, end uint64
+	entryID    uint64
+	top        bool
+}
+
+// writeEntry is one write-queue slot (Fig. 8: address, data, two PreRead
+// flag bits and two 64 B buffers).
+type writeEntry struct {
+	id         uint64
+	addr       pcm.LineAddr
+	data       pcm.Line // decoded new content
+	enqueuedAt uint64
+
+	verifyTop, verifyBelow bool
+	top, below             pcm.LineAddr
+	topOK, belowOK         bool
+
+	prTop, prBelow   bool
+	bufTop, bufBelow pcm.Line
+}
+
+// bank is one PCM bank's scheduling state.
+type bank struct {
+	freeAt   uint64
+	wq       []*writeEntry
+	draining bool
+	prereads []prOp
+}
+
+// Controller is the memory controller for one DIMM.
+type Controller struct {
+	cfg    Config
+	dev    *pcm.Device
+	ecp    *ecp.Table
+	codec  Encoder
+	engine *wd.Engine
+	region *alloc.Allocator
+
+	banks  []bank
+	nextID uint64
+	Stats  Stats
+}
+
+// New builds a controller. dev supplies the array; region supplies
+// (n:m)-strip marking decisions (its RegionTag/StripIndexInRegion are the
+// hardware-side interpretation of the TLB tag of Fig. 9); rnd seeds the
+// disturbance engine.
+func New(cfg Config, dev *pcm.Device, region *alloc.Allocator, rnd *rng.Rand) (*Controller, error) {
+	cfg = cfg.normalized()
+	table, err := ecp.New(cfg.ECPEntries)
+	if err != nil {
+		return nil, err
+	}
+	table.HardFn = cfg.HardErrorFn
+	codec := cfg.Encoder
+	if codec == nil {
+		if cfg.UseDIN {
+			codec = din.NewCodec()
+		} else {
+			codec = (*din.Codec)(nil) // nil-safe identity transform
+		}
+	}
+	if region == nil {
+		return nil, fmt.Errorf("mc: nil allocator")
+	}
+	return &Controller{
+		cfg:    cfg,
+		dev:    dev,
+		ecp:    table,
+		codec:  codec,
+		engine: wd.New(cfg.Rates, rnd.SplitLabeled("mc:wd")),
+		region: region,
+		banks:  make([]bank, pcm.NumBanks),
+	}, nil
+}
+
+// Device exposes the underlying array (for wear statistics).
+func (c *Controller) Device() *pcm.Device { return c.dev }
+
+// ECP exposes the pointer table (for wear statistics).
+func (c *Controller) ECP() *ecp.Table { return c.ecp }
+
+// Engine exposes the disturbance engine (for error statistics).
+func (c *Controller) Engine() *wd.Engine { return c.engine }
+
+// PeekData returns the current logical content of a line: raw array bits,
+// ECP-corrected, DIN-decoded. It models the data the LLC would hold and is
+// used by the simulator to build write-back payloads.
+func (c *Controller) PeekData(a pcm.LineAddr) pcm.Line {
+	return c.codec.Decode(a, c.ecp.CorrectRead(a, c.dev.Peek(a)))
+}
+
+// LatestData returns the freshest logical content of a line, checking the
+// bank's write queue before the array — the coherence rule forwarding uses.
+// Wear-leveling copies read through this so a queued-but-undrained write is
+// never lost by a rotation.
+func (c *Controller) LatestData(a pcm.LineAddr) pcm.Line {
+	b := &c.banks[pcm.Locate(a).Bank]
+	if e := b.findEntry(a); e != nil {
+		return e.data
+	}
+	return c.PeekData(a)
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// catchUp advances a bank's lazy work to time t: completed prereads are
+// retired, and (under a drain) queued write ops whose start time has passed
+// are executed. At most one op ends past t (the in-flight op).
+func (c *Controller) catchUp(b *bank, t uint64) {
+	// Retire completed prereads.
+	keep := b.prereads[:0]
+	for _, p := range b.prereads {
+		if p.end > t {
+			keep = append(keep, p)
+		}
+	}
+	b.prereads = keep
+	for len(b.wq) > 0 && b.freeAt <= t && (b.draining || len(b.wq) > c.cfg.LowWatermark) {
+		c.Stats.BackgroundOps++
+		c.executeNext(b)
+		if b.draining && len(b.wq) <= c.cfg.LowWatermark {
+			b.draining = false
+		}
+	}
+	if b.draining && len(b.wq) <= c.cfg.LowWatermark {
+		b.draining = false
+	}
+	// Any idle time left after draining goes to pending pre-reads (§4.3:
+	// "a PreRead operation often has the opportunity to be issued when its
+	// associated memory bank is idle").
+	if c.cfg.PreRead {
+		c.issuePrereads(b, t)
+	}
+}
+
+// executeNext pops the oldest write entry and runs its full VnC write op,
+// advancing freeAt. Work cannot start before the write arrived.
+func (c *Controller) executeNext(b *bank) {
+	e := b.wq[0]
+	b.wq = b.wq[1:]
+	if b.freeAt < e.enqueuedAt {
+		b.freeAt = e.enqueuedAt
+	}
+	d := c.executeWrite(b, e)
+	b.freeAt += uint64(d)
+}
+
+// findEntry locates a queued write to addr.
+func (b *bank) findEntry(addr pcm.LineAddr) *writeEntry {
+	for _, e := range b.wq {
+		if e.addr == addr {
+			return e
+		}
+	}
+	return nil
+}
+
+// cancelPrereads aborts in-flight prereads (end > t): demand reads have
+// priority (§4.3). Bank time is rolled back to the first canceled start —
+// prereads are always the newest work on the bank.
+func (c *Controller) cancelPrereads(b *bank, t uint64) {
+	if len(b.prereads) == 0 {
+		return
+	}
+	rollback := b.freeAt
+	keep := b.prereads[:0]
+	for _, p := range b.prereads {
+		if p.end <= t {
+			keep = append(keep, p)
+			continue
+		}
+		c.Stats.PreReadsCanceled++
+		if p.start < rollback {
+			rollback = p.start
+		}
+		if e := b.findEntryByID(p.entryID); e != nil {
+			if p.top {
+				e.prTop = false
+			} else {
+				e.prBelow = false
+			}
+		}
+	}
+	b.prereads = keep
+	if rollback < b.freeAt {
+		b.freeAt = rollback
+	}
+}
+
+func (b *bank) findEntryByID(id uint64) *writeEntry {
+	for _, e := range b.wq {
+		if e.id == id {
+			return e
+		}
+	}
+	return nil
+}
+
+// Read services a demand read arriving at `now`. It returns the cycle the
+// data is available and the (ECP-corrected, decoded) line content.
+func (c *Controller) Read(now uint64, addr pcm.LineAddr) (uint64, pcm.Line) {
+	c.Stats.DemandReads++
+	loc := pcm.Locate(addr)
+	b := &c.banks[loc.Bank]
+	// Write-queue forwarding: the freshest value lives in the queue.
+	if e := b.findEntry(addr); e != nil {
+		c.Stats.ForwardedReads++
+		done := now + uint64(c.cfg.ForwardCycles)
+		c.Stats.ReadLatencySum += uint64(c.cfg.ForwardCycles)
+		return done, e.data
+	}
+	c.catchUp(b, now)
+	if b.draining && c.cfg.WriteCancel && b.freeAt > now {
+		// The read waits only for the in-flight op (write cancellation /
+		// pausing); remaining drain work resumes after the read.
+		c.Stats.ReadPreemptions++
+	}
+	c.cancelPrereads(b, now)
+	start := maxU64(now, b.freeAt)
+	data := c.PeekData(addr)
+	c.dev.Stats.Reads++ // demand array read
+	done := start + uint64(c.cfg.Timing.ReadCycles)
+	b.freeAt = done
+	c.Stats.ReadCycles += uint64(c.cfg.Timing.ReadCycles)
+	c.Stats.ReadLatencySum += done - now
+	c.Stats.ReadWaitSum += start - now
+	return done, data
+}
+
+// Write buffers a write-back arriving at `now` (posted: the core does not
+// stall). A full queue triggers the bursty drain of §5.1; under write
+// cancellation the drain runs lazily and reads may preempt it.
+func (c *Controller) Write(now uint64, addr pcm.LineAddr, data pcm.Line) {
+	c.Stats.WriteRequests++
+	loc := pcm.Locate(addr)
+	b := &c.banks[loc.Bank]
+	c.catchUp(b, now)
+	if e := b.findEntry(addr); e != nil {
+		// Coalesce: update in place; pre-read state is unaffected.
+		e.data = data
+		c.Stats.Coalesced++
+		return
+	}
+	if len(b.wq) >= c.cfg.WriteQueueCap {
+		c.Stats.Drains++
+		if b.freeAt < now {
+			b.freeAt = now
+		}
+		if c.cfg.WriteCancel {
+			// Lazy drain: ops execute as time passes and reads may preempt
+			// at op boundaries; make room for the incoming write now.
+			b.draining = true
+			for len(b.wq) >= c.cfg.WriteQueueCap {
+				c.Stats.BurstOps++
+				c.executeNext(b)
+			}
+		} else {
+			// Bursty drain (§5.1): flush to the watermark, blocking this
+			// bank's reads for the whole burst.
+			for len(b.wq) > c.cfg.LowWatermark {
+				c.Stats.BurstOps++
+				c.executeNext(b)
+			}
+		}
+	}
+	e := c.newEntry(addr, data)
+	e.enqueuedAt = now
+	b.wq = append(b.wq, e)
+	if c.cfg.PreRead {
+		c.issuePrereads(b, now)
+	}
+}
+
+// newEntry builds a write-queue entry, resolving the (n:m) verification
+// decisions for its two bit-line neighbours.
+func (c *Controller) newEntry(addr pcm.LineAddr, data pcm.Line) *writeEntry {
+	c.nextID++
+	e := &writeEntry{id: c.nextID, addr: addr, data: data}
+	e.top, e.below, e.topOK, e.belowOK = pcm.AdjacentLines(addr, c.dev.RowsPerBank)
+	vt, vb := c.verifySides(addr.Page())
+	e.verifyTop = vt && e.topOK
+	e.verifyBelow = vb && e.belowOK
+	return e
+}
+
+// verifySides applies §4.4: which bit-line neighbours of a write to this
+// page hold data and need VnC. With VerifyNeighbors off (WD-free bit-lines)
+// nothing is verified.
+func (c *Controller) verifySides(p pcm.PageAddr) (top, below bool) {
+	if !c.cfg.VerifyNeighbors {
+		return false, false
+	}
+	tag := c.region.RegionTag(p)
+	s := c.region.StripIndexInRegion(p)
+	return tag.VerifyNeighbors(s, c.region.StripsPerRegion())
+}
+
+// issuePrereads uses bank idle time at `now` to perform pending pre-write
+// reads for queued entries (§4.3). Neighbours present in the write queue are
+// forwarded from their entry buffers at no bank cost.
+func (c *Controller) issuePrereads(b *bank, now uint64) {
+	idle := b.freeAt <= now && !b.draining
+	for _, e := range b.wq {
+		if e.verifyTop && !e.prTop {
+			idle = c.issueOnePreread(b, e, true, now, idle)
+		}
+		if e.verifyBelow && !e.prBelow {
+			idle = c.issueOnePreread(b, e, false, now, idle)
+		}
+	}
+}
+
+// issueOnePreread services one pending pre-write read. Forwarding from a
+// queued write to the neighbour costs no bank time and happens regardless of
+// bank state; a device read requires the idle grant. Returns whether further
+// device reads may still be issued in this batch.
+func (c *Controller) issueOnePreread(b *bank, e *writeEntry, top bool, now uint64, idle bool) bool {
+	neighbour := e.top
+	if !top {
+		neighbour = e.below
+	}
+	// Forward from the queue when the neighbour line has a pending write:
+	// by the time this entry executes, the queue (FIFO) will have written
+	// it, so the buffered data is the authoritative old content (§4.3).
+	if other := b.findEntry(neighbour); other != nil {
+		if top {
+			e.prTop, e.bufTop = true, other.data
+		} else {
+			e.prBelow, e.bufBelow = true, other.data
+		}
+		c.Stats.PreReadsForwarded++
+		return idle
+	}
+	if !idle {
+		return false
+	}
+	start := maxU64(b.freeAt, now)
+	end := start + uint64(c.cfg.Timing.ReadCycles)
+	buf := c.dev.Read(neighbour)
+	if top {
+		e.prTop, e.bufTop = true, buf
+	} else {
+		e.prBelow, e.bufBelow = true, buf
+	}
+	b.freeAt = end
+	b.prereads = append(b.prereads, prOp{start: start, end: end, entryID: e.id, top: top})
+	c.Stats.PreReadsIssued++
+	return true
+}
+
+// Flush drains every bank completely (end of simulation or checkpoint) and
+// returns the cycle all work finishes.
+func (c *Controller) Flush(now uint64) uint64 {
+	end := now
+	for i := range c.banks {
+		b := &c.banks[i]
+		c.catchUp(b, now)
+		if b.freeAt < now {
+			b.freeAt = now
+		}
+		for len(b.wq) > 0 {
+			c.executeNext(b)
+		}
+		b.draining = false
+		if b.freeAt > end {
+			end = b.freeAt
+		}
+	}
+	return end
+}
+
+// QueueOccupancy returns the total buffered writes (for tests/monitoring).
+func (c *Controller) QueueOccupancy() int {
+	n := 0
+	for i := range c.banks {
+		n += len(c.banks[i].wq)
+	}
+	return n
+}

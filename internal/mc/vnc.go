@@ -1,0 +1,151 @@
+package mc
+
+import (
+	"sdpcm/internal/pcm"
+)
+
+// executeWrite runs one complete write operation for a queue entry and
+// returns the bank cycles it consumes. The flow (§3.2, §4.2):
+//
+//  1. pre-write reads of the adjacent lines that need verification, unless
+//     PreRead already buffered them;
+//  2. DIN encoding, differential programming, in-line word-line
+//     verify-and-rewrite (folded into the program phase);
+//  3. post-write reads of the same adjacent lines; comparison yields the
+//     manifested bit-line WD errors;
+//  4. per neighbour: LazyCorrection parks X+Y<=N errors in ECP entries;
+//     otherwise a correction write RESETs the disturbed cells, which
+//     cascades — the correction is itself a write whose neighbours must be
+//     verified — until a verification finds no new errors.
+func (c *Controller) executeWrite(b *bank, e *writeEntry) int {
+	c.Stats.WriteOps++
+	cycles := 0
+
+	// --- 1. Pre-write reads (charged as verification). ---
+	if e.verifyTop || e.verifyBelow {
+		missing := 0
+		if e.verifyTop && !e.prTop {
+			e.bufTop = c.dev.Read(e.top)
+			e.prTop = true
+			missing++
+		}
+		if e.verifyBelow && !e.prBelow {
+			e.bufBelow = c.dev.Read(e.below)
+			e.prBelow = true
+			missing++
+		}
+		if missing == 0 {
+			c.Stats.PreReadHits++
+		}
+		c.Stats.VerifyReads += uint64(missing)
+		if c.cfg.ChargeVerify {
+			d := missing * c.cfg.Timing.ReadCycles
+			cycles += d
+			c.Stats.VerifyCycles += uint64(d)
+		}
+	}
+
+	// --- 2. Program the line. ---
+	// A fresh write supersedes any WD errors parked for this line (§4.2):
+	// the ECP entries are released for free.
+	c.ecp.ClearWD(e.addr, false)
+	old := c.dev.Peek(e.addr)
+	img := c.codec.Encode(e.addr, e.data, old)
+	res := c.dev.Write(e.addr, img, pcm.NormalWrite)
+	out := c.engine.OnWrite(c.dev, e.addr, old, img, res.Reset, res.Set)
+	prog := res.Cycles
+	if out.RewritePulses > 0 {
+		// In-line rewrite rounds extend the program phase.
+		prog += c.cfg.Timing.WriteCycles(out.RewritePulses, 0)
+	}
+	cycles += prog
+	c.Stats.ProgramCycles += uint64(prog)
+
+	// --- 3/4. Verify adjacent lines and handle their errors. ---
+	if e.verifyTop {
+		cycles += c.verifyNeighbour(e.top, out.Above, 0)
+	}
+	if e.verifyBelow {
+		cycles += c.verifyNeighbour(e.below, out.Below, 0)
+	}
+	return cycles
+}
+
+// verifyNeighbour performs the post-write read of one adjacent line and
+// resolves any disturbance found there. depth tracks cascade recursion
+// (0 = first-level verification of the original write).
+func (c *Controller) verifyNeighbour(addr pcm.LineAddr, flips pcm.Mask, depth int) int {
+	cycles := 0
+	// Post-write read.
+	c.dev.Stats.Reads++
+	if depth == 0 {
+		c.Stats.VerifyReads++
+		if c.cfg.ChargeVerify {
+			cycles += c.cfg.Timing.ReadCycles
+			c.Stats.VerifyCycles += uint64(c.cfg.Timing.ReadCycles)
+		}
+	} else {
+		c.Stats.CascadeReads++
+		if c.cfg.ChargeCorrect {
+			cycles += c.cfg.Timing.ReadCycles
+			c.Stats.CorrectCycles += uint64(c.cfg.Timing.ReadCycles)
+		}
+	}
+	newBits := flips.Bits()
+	if len(newBits) == 0 {
+		return cycles
+	}
+	// LazyCorrection: park the errors if the line's free ECP entries cover
+	// them (X + Y <= N). Recording happens in the WD-free low density ECP
+	// chip and costs no data-bank time.
+	if c.cfg.LazyCorrection && c.ecp.RecordWD(addr, newBits) {
+		c.Stats.LazyRecords++
+		return cycles
+	}
+	// Correction write: RESET every pending disturbed cell (newly found and
+	// previously parked); hard errors stay in their entries.
+	cycles += c.correctLine(addr, flips, depth)
+	return cycles
+}
+
+// correctLine rewrites a disturbed line to clear its WD errors and runs
+// cascading verification on the correction's own neighbours.
+func (c *Controller) correctLine(addr pcm.LineAddr, newFlips pcm.Mask, depth int) int {
+	cycles := 0
+	pending := c.ecp.CorrectionMask(addr).Or(newFlips)
+	raw := c.dev.Peek(addr)
+	var corrected pcm.Line
+	for i := range raw {
+		corrected[i] = raw[i] &^ pending[i]
+	}
+	res := c.dev.Write(addr, corrected, pcm.CorrectionWrite)
+	c.ecp.ClearWD(addr, true)
+	c.Stats.CorrectionWrites++
+	if c.cfg.ChargeCorrect {
+		cycles += res.Cycles
+		c.Stats.CorrectCycles += uint64(res.Cycles)
+	}
+	// The correction write is a write: its RESET pulses disturb. Note the
+	// corrected line's content is already (conceptually) known from the
+	// verification read, so no fresh pre-reads are needed here — cascading
+	// verification is post-reads only (§6.8).
+	out := c.engine.OnWrite(c.dev, addr, raw, corrected, res.Reset, res.Set)
+	if out.RewritePulses > 0 && c.cfg.ChargeCorrect {
+		d := c.cfg.Timing.WriteCycles(out.RewritePulses, 0)
+		cycles += d
+		c.Stats.CorrectCycles += uint64(d)
+	}
+	if depth >= c.cfg.MaxCascadeDepth {
+		c.Stats.CascadeTruncated++
+		return cycles
+	}
+	above, below, okA, okB := pcm.AdjacentLines(addr, c.dev.RowsPerBank)
+	vt, vb := c.verifySides(addr.Page())
+	if okA && vt {
+		cycles += c.verifyNeighbour(above, out.Above, depth+1)
+	}
+	if okB && vb {
+		cycles += c.verifyNeighbour(below, out.Below, depth+1)
+	}
+	return cycles
+}

@@ -1,0 +1,218 @@
+package pcm
+
+import "fmt"
+
+// Timing holds the PCM access latencies of Table 2, in CPU cycles (4 GHz:
+// 100 ns read = 400 cycles, 200 ns SET = 800 cycles, 100 ns RESET = 400).
+type Timing struct {
+	ReadCycles   int
+	ResetCycles  int
+	SetCycles    int
+	ParallelBits int // write-driver width (128 in Table 2)
+}
+
+// DefaultTiming is the Table 2 configuration.
+var DefaultTiming = Timing{
+	ReadCycles:   400,
+	ResetCycles:  400,
+	SetCycles:    800,
+	ParallelBits: ParallelWriteBits,
+}
+
+// WriteCycles returns the bank-occupancy time of programming the given
+// number of RESET and SET cells. The write drivers program ParallelBits
+// cells per round with per-cell pulse shaping (Table 2: "128-bit parallel
+// write"), so a round mixing both pulse classes lasts as long as its
+// longest pulse — the 200 ns SET. RESET-only rounds finish in 100 ns. A
+// write that changes nothing still occupies the bank for one RESET slot
+// (row activation and drive setup).
+func (t Timing) WriteCycles(nReset, nSet int) int {
+	total := nReset + nSet
+	if total == 0 {
+		return t.ResetCycles
+	}
+	rounds := (total + t.ParallelBits - 1) / t.ParallelBits
+	if nSet > 0 {
+		return rounds * t.SetCycles
+	}
+	return rounds * t.ResetCycles
+}
+
+// WriteKind classifies device writes for wear accounting.
+type WriteKind int
+
+const (
+	// NormalWrite is a demand write from the memory controller.
+	NormalWrite WriteKind = iota
+	// CorrectionWrite rewrites a neighbour line to clear WD errors (§4.2).
+	CorrectionWrite
+)
+
+// Stats aggregates device activity; all counters are cumulative.
+type Stats struct {
+	Reads  uint64 // line reads (demand + verification + pre-reads)
+	Writes uint64 // line write operations
+
+	ResetPulses uint64 // total cells driven by RESET across all writes
+	SetPulses   uint64 // total cells driven by SET across all writes
+
+	CorrectionWrites      uint64 // writes with kind CorrectionWrite
+	CorrectionResetPulses uint64 // RESET pulses spent on corrections
+
+	DisturbedBits uint64 // cells flipped by write disturbance
+}
+
+// CellWrites returns the total number of programmed cells (wear proxy).
+func (s Stats) CellWrites() uint64 { return s.ResetPulses + s.SetPulses }
+
+// Device is one PCM DIMM's worth of data cell arrays. Storage is sparse:
+// lines never written hold a deterministic background pattern derived from
+// the fill seed, so disturbance vulnerability of untouched neighbours is
+// modelled without materialising the full capacity.
+//
+// Device is purely functional/data-level; command timing and scheduling live
+// in the memory controller (internal/mc).
+type Device struct {
+	RowsPerBank int
+	Timing      Timing
+	Stats       Stats
+
+	data     map[LineAddr]Line
+	fillSeed uint64
+	zeroFill bool
+}
+
+// Config parameterises a Device.
+type Config struct {
+	// Pages is the number of physical pages the device exposes. It must be
+	// a positive multiple of NumBanks so every bank has the same row count.
+	Pages int
+	// Timing defaults to DefaultTiming when zero.
+	Timing Timing
+	// FillSeed drives the deterministic background content of untouched
+	// lines. Ignored when ZeroFill is set.
+	FillSeed uint64
+	// ZeroFill makes untouched lines all-zero (fully amorphous) instead of
+	// pseudo-random. Useful for tests needing exact vulnerability control.
+	ZeroFill bool
+}
+
+// NewDevice builds a device with cfg.Pages pages.
+func NewDevice(cfg Config) (*Device, error) {
+	if cfg.Pages <= 0 || cfg.Pages%NumBanks != 0 {
+		return nil, fmt.Errorf("pcm: Pages must be a positive multiple of %d, got %d", NumBanks, cfg.Pages)
+	}
+	t := cfg.Timing
+	if t == (Timing{}) {
+		t = DefaultTiming
+	}
+	if t.ParallelBits <= 0 {
+		return nil, fmt.Errorf("pcm: ParallelBits must be positive, got %d", t.ParallelBits)
+	}
+	return &Device{
+		RowsPerBank: cfg.Pages / NumBanks,
+		Timing:      t,
+		data:        make(map[LineAddr]Line),
+		fillSeed:    cfg.FillSeed,
+		zeroFill:    cfg.ZeroFill,
+	}, nil
+}
+
+// Pages returns the number of pages the device exposes.
+func (d *Device) Pages() int { return d.RowsPerBank * NumBanks }
+
+// Lines returns the number of lines the device exposes.
+func (d *Device) Lines() int { return d.Pages() * LinesPerPage }
+
+// contains reports whether the address is within the device.
+func (d *Device) contains(a LineAddr) bool { return int(a) < d.Lines() }
+
+// background returns the deterministic initial content of a line.
+func (d *Device) background(a LineAddr) Line {
+	var l Line
+	if d.zeroFill {
+		return l
+	}
+	state := d.fillSeed ^ (uint64(a)+1)*0x9e3779b97f4a7c15
+	for i := range l {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		l[i] = z ^ (z >> 31)
+	}
+	return l
+}
+
+// Peek returns the current content of a line without touching statistics.
+// It panics on out-of-range addresses: callers are inside the simulator and
+// an out-of-range access is a bug, not an input error.
+func (d *Device) Peek(a LineAddr) Line {
+	if !d.contains(a) {
+		panic(fmt.Sprintf("pcm: line %d out of range (%d lines)", a, d.Lines()))
+	}
+	if l, ok := d.data[a]; ok {
+		return l
+	}
+	return d.background(a)
+}
+
+// Read returns a line's content and counts one array read. Timing is the
+// caller's concern (Timing.ReadCycles).
+func (d *Device) Read(a LineAddr) Line {
+	d.Stats.Reads++
+	return d.Peek(a)
+}
+
+// WriteResult describes the device-level effect of one line write.
+type WriteResult struct {
+	Reset  Mask // cells driven 1→0
+	Set    Mask // cells driven 0→1
+	Cycles int  // bank occupancy of the programming operation
+}
+
+// Write programs a line to new content using differential write and returns
+// the pulse maps and bank occupancy. kind attributes the wear.
+func (d *Device) Write(a LineAddr, new Line, kind WriteKind) WriteResult {
+	old := d.Peek(a)
+	reset, set := DiffMasks(old, new)
+	d.data[a] = new
+	nr, ns := reset.PopCount(), set.PopCount()
+	d.Stats.Writes++
+	d.Stats.ResetPulses += uint64(nr)
+	d.Stats.SetPulses += uint64(ns)
+	if kind == CorrectionWrite {
+		d.Stats.CorrectionWrites++
+		d.Stats.CorrectionResetPulses += uint64(nr)
+	}
+	return WriteResult{Reset: reset, Set: set, Cycles: d.Timing.WriteCycles(nr, ns)}
+}
+
+// Disturb crystallises the given cells of a line in place (0→1 flips caused
+// by neighbouring RESET heat). Bits of the mask that are already 1 are
+// ignored; the count of actually flipped cells is returned. Disturbance is
+// not a programmed pulse and adds no wear.
+func (d *Device) Disturb(a LineAddr, flips Mask) int {
+	old := d.Peek(a)
+	var newLine Line
+	n := 0
+	for i := range old {
+		flipped := flips[i] &^ old[i]
+		newLine[i] = old[i] | flipped
+		n += popcount64(flipped)
+	}
+	if n > 0 {
+		d.data[a] = newLine
+		d.Stats.DisturbedBits += uint64(n)
+	}
+	return n
+}
+
+func popcount64(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

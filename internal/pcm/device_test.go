@@ -1,0 +1,187 @@
+package pcm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newTestDevice(t *testing.T, pages int, zero bool) *Device {
+	t.Helper()
+	d, err := NewDevice(Config{Pages: pages, FillSeed: 1, ZeroFill: zero})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewDeviceValidation(t *testing.T) {
+	if _, err := NewDevice(Config{Pages: 0}); err == nil {
+		t.Error("zero pages must be rejected")
+	}
+	if _, err := NewDevice(Config{Pages: 17}); err == nil {
+		t.Error("pages not multiple of NumBanks must be rejected")
+	}
+	if _, err := NewDevice(Config{Pages: 16, Timing: Timing{ReadCycles: 1, ResetCycles: 1, SetCycles: 1}}); err == nil {
+		t.Error("zero ParallelBits must be rejected")
+	}
+	d, err := NewDevice(Config{Pages: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Pages() != 32 || d.RowsPerBank != 2 || d.Lines() != 32*LinesPerPage {
+		t.Errorf("device sizing wrong: %d pages, %d rows, %d lines",
+			d.Pages(), d.RowsPerBank, d.Lines())
+	}
+	if d.Timing != DefaultTiming {
+		t.Error("zero Timing must default to DefaultTiming")
+	}
+}
+
+func TestBackgroundDeterministic(t *testing.T) {
+	d1 := newTestDevice(t, 16, false)
+	d2 := newTestDevice(t, 16, false)
+	for a := LineAddr(0); a < 100; a++ {
+		if d1.Peek(a) != d2.Peek(a) {
+			t.Fatalf("background content differs at %d", a)
+		}
+	}
+	// Different seeds give different content.
+	d3, _ := NewDevice(Config{Pages: 16, FillSeed: 2})
+	diff := 0
+	for a := LineAddr(0); a < 100; a++ {
+		if d1.Peek(a) != d3.Peek(a) {
+			diff++
+		}
+	}
+	if diff < 99 {
+		t.Fatalf("different seeds shared %d of 100 lines", 100-diff)
+	}
+}
+
+func TestBackgroundBitBalance(t *testing.T) {
+	// Random fill should be roughly half ones so ~half the cells are
+	// WD-vulnerable, as with arbitrary resident data.
+	d := newTestDevice(t, 16, false)
+	ones := 0
+	const lines = 200
+	for a := LineAddr(0); a < lines; a++ {
+		l := d.Peek(a)
+		ones += l.PopCount()
+	}
+	total := lines * LineBits
+	frac := float64(ones) / float64(total)
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("background one-density = %v, want ~0.5", frac)
+	}
+}
+
+func TestZeroFill(t *testing.T) {
+	d := newTestDevice(t, 16, true)
+	if d.Peek(0) != (Line{}) {
+		t.Fatal("zero-fill device must start all-amorphous")
+	}
+}
+
+func TestWriteThenRead(t *testing.T) {
+	d := newTestDevice(t, 16, true)
+	var l Line
+	l[0] = 0xdeadbeef
+	l[7] = 1 << 63
+	d.Write(5, l, NormalWrite)
+	if got := d.Read(5); got != l {
+		t.Fatalf("read back %v, want %v", got, l)
+	}
+	if d.Stats.Reads != 1 || d.Stats.Writes != 1 {
+		t.Fatalf("stats = %+v", d.Stats)
+	}
+}
+
+func TestWritePulseAccounting(t *testing.T) {
+	d := newTestDevice(t, 16, true)
+	var l Line
+	l[0] = 0xff // 8 SET pulses from all-zero
+	res := d.Write(9, l, NormalWrite)
+	if res.Set.PopCount() != 8 || res.Reset.PopCount() != 0 {
+		t.Fatalf("pulse maps: set=%d reset=%d", res.Set.PopCount(), res.Reset.PopCount())
+	}
+	if d.Stats.SetPulses != 8 || d.Stats.ResetPulses != 0 {
+		t.Fatalf("stats = %+v", d.Stats)
+	}
+	// Now clear 3 of them: 3 RESET pulses.
+	l[0] = 0x1f
+	res = d.Write(9, l, NormalWrite)
+	if res.Reset.PopCount() != 3 || res.Set.PopCount() != 0 {
+		t.Fatalf("second write pulses: %+v", res)
+	}
+	if res.Cycles != DefaultTiming.ResetCycles {
+		t.Fatalf("reset-only write cycles = %d", res.Cycles)
+	}
+}
+
+func TestDifferentialWriteSkipsUnchanged(t *testing.T) {
+	if err := quick.Check(func(o, n [8]uint64) bool {
+		d, err := NewDevice(Config{Pages: 16, ZeroFill: true})
+		if err != nil {
+			return false
+		}
+		d.Write(3, Line(o), NormalWrite)
+		before := d.Stats.CellWrites()
+		res := d.Write(3, Line(n), NormalWrite)
+		pulses := d.Stats.CellWrites() - before
+		// Pulses must equal the Hamming distance, never the full line.
+		return int(pulses) == Line(o).Xor(Line(n)).PopCount() &&
+			res.Reset.PopCount()+res.Set.PopCount() == int(pulses)
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorrectionWearAttribution(t *testing.T) {
+	d := newTestDevice(t, 16, true)
+	var l Line
+	l[0] = 0xf
+	d.Write(1, l, NormalWrite)
+	d.Write(1, Line{}, CorrectionWrite) // clears 4 bits via RESET
+	if d.Stats.CorrectionWrites != 1 {
+		t.Fatalf("correction writes = %d", d.Stats.CorrectionWrites)
+	}
+	if d.Stats.CorrectionResetPulses != 4 {
+		t.Fatalf("correction reset pulses = %d", d.Stats.CorrectionResetPulses)
+	}
+}
+
+func TestDisturb(t *testing.T) {
+	d := newTestDevice(t, 16, true)
+	var flips Mask
+	flips.SetBit(0)
+	flips.SetBit(100)
+	n := d.Disturb(7, flips)
+	if n != 2 {
+		t.Fatalf("disturbed %d cells, want 2", n)
+	}
+	got := d.Peek(7)
+	if got.Bit(0) != 1 || got.Bit(100) != 1 {
+		t.Fatal("disturbed bits must crystallise to 1")
+	}
+	// Disturbing already-crystalline cells is a no-op.
+	if n := d.Disturb(7, flips); n != 0 {
+		t.Fatalf("re-disturb flipped %d cells, want 0", n)
+	}
+	if d.Stats.DisturbedBits != 2 {
+		t.Fatalf("DisturbedBits = %d", d.Stats.DisturbedBits)
+	}
+	// Disturbance adds no wear.
+	if d.Stats.ResetPulses != 0 || d.Stats.SetPulses != 0 {
+		t.Fatal("disturbance must not count as programmed pulses")
+	}
+}
+
+func TestPeekOutOfRangePanics(t *testing.T) {
+	d := newTestDevice(t, 16, true)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range Peek")
+		}
+	}()
+	d.Peek(LineAddr(d.Lines()))
+}

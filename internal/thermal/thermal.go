@@ -1,0 +1,170 @@
+// Package thermal implements the write-disturbance thermal model of SD-PCM
+// §2.2.2, composed of three parts mirroring the DIN model [10] it adopts:
+//
+//  1. a cell thermal model — the temperature elevation a RESET pulse induces
+//     at a neighbouring cell, decaying exponentially with distance and
+//     depending on the inter-cell medium (GST along a µTrench bit-line
+//     conducts heat better than the oxide between bit-lines);
+//  2. a cell scaling model — distances are expressed as pitch (in feature
+//     sizes) times the technology node, so shrinking F raises neighbour
+//     temperatures;
+//  3. a disturbance model — an Arrhenius-style crystallisation probability
+//     for an idle amorphous cell held at the disturb temperature for the
+//     duration of the pulse, gated by the crystallisation threshold.
+//
+// The two free parameters of each stage are solved, at package init, from
+// the paper's published calibration points (Table 1): at 20 nm and 2F pitch
+// the word-line neighbour reaches 310 °C and flips with 9.9 % probability,
+// the bit-line neighbour 320 °C and 11.5 %. The prototype chip's enlarged
+// pitches (3F word-line, 4F bit-line) must come out WD-free, which they do:
+// both fall far below the 300 °C crystallisation threshold.
+package thermal
+
+import (
+	"fmt"
+	"math"
+)
+
+// Physical constants of the model (°C unless noted).
+const (
+	// AmbientC is the die ambient temperature.
+	AmbientC = 27.0
+	// MeltC is the GST melting point; RESET heats the programmed cell above it.
+	MeltC = 600.0
+	// CrystallizeC is the crystallisation threshold; an idle amorphous cell
+	// below this temperature cannot be disturbed (§2.2.1).
+	CrystallizeC = 300.0
+	// ResetPeakC is the peak temperature of the programmed cell during RESET.
+	ResetPeakC = 630.0
+	// SETTemperatureScale: SET current is about half of RESET current, so the
+	// temperature increase during SET is four times lower (§2.2.1 [26]);
+	// SET disturbance is therefore negligible and the model reports zero.
+	SETTemperatureScale = 0.25
+)
+
+// Axis identifies the direction of a neighbour relative to the written cell.
+type Axis int
+
+const (
+	// WordLine neighbours sit on the same word-line (adjacent bit-lines,
+	// separated by oxide).
+	WordLine Axis = iota
+	// BitLine neighbours sit on the same µTrench GST rail (adjacent
+	// word-lines, same bit-line).
+	BitLine
+)
+
+// String implements fmt.Stringer.
+func (a Axis) String() string {
+	switch a {
+	case WordLine:
+		return "word-line"
+	case BitLine:
+		return "bit-line"
+	default:
+		return fmt.Sprintf("Axis(%d)", int(a))
+	}
+}
+
+// Calibration points from Table 1 at the reference node (20 nm, 2F pitch).
+const (
+	refNodeNM        = 20.0
+	refPitchF        = 2
+	wordLineRefTempC = 310.0
+	bitLineRefTempC  = 320.0
+	wordLineRefRate  = 0.099
+	bitLineRefRate   = 0.115
+)
+
+// decay lengths (nm) of the exponential lateral temperature profile, one per
+// medium, solved from the reference temperatures at init.
+var lambdaNM [2]float64
+
+// Arrhenius parameters of the crystallisation probability
+// p(T) = 1 - exp(-arrA * exp(-arrB/T_kelvin)), solved from the two
+// reference (temperature, rate) points at init.
+var arrA, arrB float64
+
+func init() {
+	rise := ResetPeakC - AmbientC
+	d := refPitchF * refNodeNM
+	lambdaNM[WordLine] = d / math.Log(rise/(wordLineRefTempC-AmbientC))
+	lambdaNM[BitLine] = d / math.Log(rise/(bitLineRefTempC-AmbientC))
+
+	// Solve A, B from the two (T, p) calibration points.
+	t1 := wordLineRefTempC + 273.15
+	t2 := bitLineRefTempC + 273.15
+	h1 := -math.Log(1 - wordLineRefRate)
+	h2 := -math.Log(1 - bitLineRefRate)
+	arrB = math.Log(h2/h1) / (1/t1 - 1/t2)
+	arrA = h1 * math.Exp(arrB/t1)
+}
+
+// NeighborTemperatureC returns the steady temperature (°C) reached by the
+// neighbouring cell along the given axis during a RESET of a cell at
+// pitchF*featureNM centre-to-centre distance.
+func NeighborTemperatureC(axis Axis, pitchF int, featureNM float64) float64 {
+	if pitchF < 2 {
+		pitchF = 2 // cells cannot overlap; clamp to minimal pitch
+	}
+	d := float64(pitchF) * featureNM
+	return AmbientC + (ResetPeakC-AmbientC)*math.Exp(-d/lambdaNM[axis])
+}
+
+// SETNeighborTemperatureC returns the neighbour temperature during a SET
+// pulse; the elevation is SETTemperatureScale of the RESET elevation.
+func SETNeighborTemperatureC(axis Axis, pitchF int, featureNM float64) float64 {
+	t := NeighborTemperatureC(axis, pitchF, featureNM)
+	return AmbientC + (t-AmbientC)*SETTemperatureScale
+}
+
+// DisturbProbability returns the probability that an idle amorphous cell at
+// temperature tempC (°C) for the duration of one RESET pulse loses its bit.
+// Below the crystallisation threshold the probability is exactly zero.
+func DisturbProbability(tempC float64) float64 {
+	if tempC < CrystallizeC {
+		return 0
+	}
+	tK := tempC + 273.15
+	return 1 - math.Exp(-arrA*math.Exp(-arrB/tK))
+}
+
+// ErrorRate returns the per-vulnerable-cell disturbance probability for a
+// RESET at the given geometry: the composition of the thermal and
+// disturbance models.
+func ErrorRate(axis Axis, pitchF int, featureNM float64) float64 {
+	return DisturbProbability(NeighborTemperatureC(axis, pitchF, featureNM))
+}
+
+// Rates bundles the two per-axis disturbance probabilities a cell array
+// geometry induces; this is what the rest of the simulator consumes.
+type Rates struct {
+	WordLine float64 // probability an idle '0' word-line neighbour flips per RESET
+	BitLine  float64 // probability an idle '0' bit-line neighbour flips per RESET
+}
+
+// RatesFor returns the disturbance rates for a layout described by its two
+// pitches at the given technology node.
+func RatesFor(wordLinePitchF, bitLinePitchF int, featureNM float64) Rates {
+	return Rates{
+		WordLine: ErrorRate(WordLine, wordLinePitchF, featureNM),
+		BitLine:  ErrorRate(BitLine, bitLinePitchF, featureNM),
+	}
+}
+
+// Table1Row is one row of the paper's Table 1.
+type Table1Row struct {
+	Axis      Axis
+	TempRiseC float64 // neighbour temperature during RESET, °C
+	ErrorRate float64 // SLC disturbance probability
+}
+
+// Table1 regenerates the paper's Table 1 (4F² cells at 20 nm).
+func Table1() []Table1Row {
+	rows := make([]Table1Row, 0, 2)
+	for _, axis := range []Axis{WordLine, BitLine} {
+		t := NeighborTemperatureC(axis, refPitchF, refNodeNM)
+		rows = append(rows, Table1Row{Axis: axis, TempRiseC: t, ErrorRate: DisturbProbability(t)})
+	}
+	return rows
+}

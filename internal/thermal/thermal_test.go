@@ -1,0 +1,178 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(got, want, tol float64) bool { return math.Abs(got-want) <= tol }
+
+func TestTable1Calibration(t *testing.T) {
+	// The model must reproduce Table 1 exactly at the calibration points.
+	rows := Table1()
+	if len(rows) != 2 {
+		t.Fatalf("Table1 has %d rows, want 2", len(rows))
+	}
+	wl, bl := rows[0], rows[1]
+	if wl.Axis != WordLine || bl.Axis != BitLine {
+		t.Fatal("Table1 row order must be word-line, bit-line")
+	}
+	if !approx(wl.TempRiseC, 310, 0.01) {
+		t.Errorf("word-line temp = %v, want 310", wl.TempRiseC)
+	}
+	if !approx(bl.TempRiseC, 320, 0.01) {
+		t.Errorf("bit-line temp = %v, want 320", bl.TempRiseC)
+	}
+	if !approx(wl.ErrorRate, 0.099, 1e-4) {
+		t.Errorf("word-line rate = %v, want 0.099", wl.ErrorRate)
+	}
+	if !approx(bl.ErrorRate, 0.115, 1e-4) {
+		t.Errorf("bit-line rate = %v, want 0.115", bl.ErrorRate)
+	}
+}
+
+func TestPrototypeGeometryIsWDFree(t *testing.T) {
+	// 3F word-line / 4F bit-line pitch (prototype chip) must be WD-free.
+	if r := ErrorRate(WordLine, 3, 20); r != 0 {
+		t.Errorf("3F word-line pitch error rate = %v, want 0", r)
+	}
+	if r := ErrorRate(BitLine, 4, 20); r != 0 {
+		t.Errorf("4F bit-line pitch error rate = %v, want 0", r)
+	}
+}
+
+func TestDINGeometry(t *testing.T) {
+	// DIN-enhanced: 2F along word-lines (WD present), 4F along bit-lines
+	// (WD-free).
+	if r := ErrorRate(WordLine, 2, 20); !approx(r, 0.099, 1e-4) {
+		t.Errorf("DIN word-line rate = %v, want 0.099", r)
+	}
+	if r := ErrorRate(BitLine, 4, 20); r != 0 {
+		t.Errorf("DIN bit-line rate = %v, want 0", r)
+	}
+}
+
+func TestBitLineHotterThanWordLine(t *testing.T) {
+	// The GST rail conducts heat better than oxide: at equal pitch the
+	// bit-line neighbour is always hotter (§2.2.2).
+	for pitch := 2; pitch <= 6; pitch++ {
+		wl := NeighborTemperatureC(WordLine, pitch, 20)
+		bl := NeighborTemperatureC(BitLine, pitch, 20)
+		if bl <= wl {
+			t.Errorf("pitch %dF: bit-line %v°C <= word-line %v°C", pitch, bl, wl)
+		}
+	}
+}
+
+func TestTemperatureMonotonicInPitch(t *testing.T) {
+	for _, axis := range []Axis{WordLine, BitLine} {
+		prev := math.Inf(1)
+		for pitch := 2; pitch <= 8; pitch++ {
+			cur := NeighborTemperatureC(axis, pitch, 20)
+			if cur >= prev {
+				t.Errorf("%v: temp not decreasing at pitch %dF (%v >= %v)",
+					axis, pitch, cur, prev)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestTemperatureMonotonicInNode(t *testing.T) {
+	// Scaling model: shrinking the feature size raises disturb temperature.
+	for _, axis := range []Axis{WordLine, BitLine} {
+		prev := 0.0
+		for _, node := range []float64{54, 40, 28, 20, 16} {
+			cur := NeighborTemperatureC(axis, 2, node)
+			if cur <= prev {
+				t.Errorf("%v: temp not increasing as node shrinks to %vnm", axis, node)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestWDEmergesWithScaling(t *testing.T) {
+	// WD was first observed at 54nm and became significant at 20nm (§1):
+	// at 54nm the model should give (near) zero rate, at 20nm ~10%.
+	if r := ErrorRate(BitLine, 2, 54); r > 0.001 {
+		t.Errorf("54nm bit-line rate = %v, want ~0", r)
+	}
+	if r := ErrorRate(BitLine, 2, 20); r < 0.10 {
+		t.Errorf("20nm bit-line rate = %v, want >= 0.10", r)
+	}
+}
+
+func TestDisturbProbabilityGated(t *testing.T) {
+	if p := DisturbProbability(CrystallizeC - 0.001); p != 0 {
+		t.Errorf("below crystallisation threshold p = %v, want 0", p)
+	}
+	if p := DisturbProbability(CrystallizeC); p <= 0 {
+		t.Errorf("at threshold p = %v, want > 0", p)
+	}
+}
+
+func TestDisturbProbabilityBounds(t *testing.T) {
+	if err := quick.Check(func(raw uint16) bool {
+		temp := float64(raw%1000) - 100 // [-100, 900)°C
+		p := DisturbProbability(temp)
+		return p >= 0 && p <= 1
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisturbProbabilityMonotonic(t *testing.T) {
+	prev := -1.0
+	for temp := 300.0; temp <= 600; temp += 10 {
+		p := DisturbProbability(temp)
+		if p < prev {
+			t.Errorf("p(%v) = %v < p(previous) = %v", temp, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestSETDisturbanceNegligible(t *testing.T) {
+	// SET neighbour temperature must stay below crystallisation even at
+	// minimal pitch, so SET never disturbs (§2.2.1).
+	for _, axis := range []Axis{WordLine, BitLine} {
+		temp := SETNeighborTemperatureC(axis, 2, 20)
+		if temp >= CrystallizeC {
+			t.Errorf("%v SET neighbour temp %v°C >= crystallisation", axis, temp)
+		}
+		if p := DisturbProbability(temp); p != 0 {
+			t.Errorf("%v SET disturb probability = %v, want 0", axis, p)
+		}
+	}
+}
+
+func TestRatesFor(t *testing.T) {
+	// Super dense layout: both axes disturb.
+	r := RatesFor(2, 2, 20)
+	if !approx(r.WordLine, 0.099, 1e-4) || !approx(r.BitLine, 0.115, 1e-4) {
+		t.Errorf("super dense rates = %+v", r)
+	}
+	// Prototype: WD-free both axes.
+	r = RatesFor(3, 4, 20)
+	if r.WordLine != 0 || r.BitLine != 0 {
+		t.Errorf("prototype rates = %+v, want zero", r)
+	}
+}
+
+func TestPitchClamp(t *testing.T) {
+	// Pitches below 2F are physically impossible and clamp to 2F.
+	if NeighborTemperatureC(BitLine, 1, 20) != NeighborTemperatureC(BitLine, 2, 20) {
+		t.Error("pitch < 2F must clamp to 2F")
+	}
+}
+
+func TestAxisString(t *testing.T) {
+	if WordLine.String() != "word-line" || BitLine.String() != "bit-line" {
+		t.Errorf("axis strings: %q, %q", WordLine.String(), BitLine.String())
+	}
+	if Axis(9).String() != "Axis(9)" {
+		t.Errorf("unknown axis string: %q", Axis(9).String())
+	}
+}

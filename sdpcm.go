@@ -1,0 +1,236 @@
+// Package sdpcm is a library-quality reproduction of "SD-PCM: Constructing
+// Reliable Super Dense Phase Change Memory under Write Disturbance"
+// (Wang, Jiang, Zhang, Yang — ASPLOS 2015).
+//
+// It provides:
+//
+//   - the SD-PCM design itself: LazyCorrection (ECP-backed deferred
+//     correction of write-disturbance errors), PreRead (write-queue driven
+//     early reads of adjacent lines) and (n:m)-Alloc (a WD-aware buddy page
+//     allocator), all layered over a basic verify-and-correct write flow;
+//   - every substrate the paper depends on, implemented from scratch: a
+//     bit-accurate PCM device model with differential write, a calibrated
+//     thermal disturbance model, DIN-style word-line encoding, ECP, a
+//     memory controller with per-bank write queues and write cancellation,
+//     an event-driven 8-core system simulator, page tables/TLB, and
+//     synthetic SPEC2006/STREAM workload generators calibrated to the
+//     paper's Table 3;
+//   - an experiment harness that regenerates every table and figure of the
+//     paper's evaluation (§6).
+//
+// # Quick start
+//
+//	res, err := sdpcm.Run(sdpcm.SimConfig{
+//	    Scheme:      sdpcm.LazyCPreRead(6),
+//	    Mix:         sdpcm.HomogeneousMix("lbm", 8),
+//	    RefsPerCore: 100000,
+//	})
+//
+// Compare against sdpcm.Baseline() to obtain the paper's §5.2 speedup
+// metric, or call the Figure functions (sdpcm.Fig11, ...) for ready-made
+// result tables.
+package sdpcm
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"sdpcm/internal/alloc"
+	"sdpcm/internal/core"
+	"sdpcm/internal/experiments"
+	"sdpcm/internal/geometry"
+	"sdpcm/internal/sim"
+	"sdpcm/internal/stats"
+	"sdpcm/internal/thermal"
+	"sdpcm/internal/trace"
+	"sdpcm/internal/workload"
+)
+
+// Scheme is one design point: cell-array layout plus the mitigation stack
+// (§5.3). Construct schemes with the factory functions below or compose the
+// fields directly.
+type Scheme = core.Scheme
+
+// Tag identifies an (n:m) page allocator: n of every m device strips hold
+// data (§4.4).
+type Tag = alloc.Tag
+
+// Common allocator tags.
+var (
+	Tag11 = alloc.Tag11 // default allocator, every strip used
+	Tag12 = alloc.Tag12 // every other strip: VnC-free writes
+	Tag23 = alloc.Tag23 // one neighbour per write to verify
+	Tag34 = alloc.Tag34
+)
+
+// Layouts of Figure 1.
+var (
+	SuperDense  = geometry.SuperDense  // 4F²/cell: SD-PCM's target
+	DINEnhanced = geometry.DINEnhanced // 8F²/cell: word-line WD only
+	Prototype   = geometry.Prototype   // 12F²/cell: WD-free
+)
+
+// Scheme factories (§5.3 roster).
+var (
+	// DIN is the state-of-the-art comparator (8F², no bit-line WD).
+	DIN = core.DIN
+	// WDFree is the 12F² disturbance-free reference.
+	WDFree = core.WDFree
+	// Baseline is basic VnC on super dense 4F² PCM.
+	Baseline = core.Baseline
+	// LazyC adds LazyCorrection with ECP-N (§4.2).
+	LazyC = core.LazyC
+	// PreReadOnly adds PreRead to the baseline (§4.3).
+	PreReadOnly = core.PreReadOnly
+	// LazyCPreRead combines LazyCorrection and PreRead.
+	LazyCPreRead = core.LazyCPreRead
+	// NMAlloc is baseline VnC under an (n:m) allocator (§4.4).
+	NMAlloc = core.NMAlloc
+	// LazyCNM combines LazyCorrection with an (n:m) allocator.
+	LazyCNM = core.LazyCNM
+	// AllThree combines LazyCorrection, PreRead and (n:m)-Alloc.
+	AllThree = core.AllThree
+	// WC is write cancellation over baseline VnC (§6.8).
+	WC = core.WC
+	// WCLazyC combines write cancellation with LazyCorrection.
+	WCLazyC = core.WCLazyC
+	// Figure11Roster returns the paper's headline scheme list.
+	Figure11Roster = core.Figure11Roster
+	// HardErrorModel returns a deterministic per-line hard-error count for
+	// a DIMM at the given lifetime fraction (Fig. 14 aging).
+	HardErrorModel = core.HardErrorModel
+)
+
+// DefaultECPEntries is the paper's ECP provisioning (ECP-6).
+const DefaultECPEntries = core.DefaultECPEntries
+
+// SimConfig configures one full-system simulation (§5.1 methodology).
+type SimConfig = sim.Config
+
+// SimResult is a simulation outcome: CPI, controller/device/ECP/WD
+// statistics and derived figure metrics.
+type SimResult = sim.Result
+
+// Run executes one simulation.
+func Run(cfg SimConfig) (SimResult, error) { return sim.Run(cfg) }
+
+// Speedup is the §5.2 performance metric: CPI_base / CPI_tech.
+func Speedup(base, tech SimResult) float64 { return stats.Speedup(base.CPI, tech.CPI) }
+
+// MixSpec names the per-core benchmarks of a multi-programmed workload.
+type MixSpec = workload.MixSpec
+
+// HomogeneousMix builds the paper's workload shape: every core runs a copy
+// of the same benchmark (§5.2).
+func HomogeneousMix(bench string, cores int) MixSpec {
+	return workload.HomogeneousMix(bench, cores)
+}
+
+// Benchmarks returns the Table 3 application names.
+func Benchmarks() []string { return workload.Names() }
+
+// TraceRecord is one main-memory reference of a trace.
+type TraceRecord = trace.Record
+
+// TraceStream feeds references to a simulated core; assign streams to
+// SimConfig.Streams to replay captured traces (the sdpcm-trace workflow)
+// instead of running live generators.
+type TraceStream = trace.Stream
+
+// LoadTraceStreams opens binary trace files (written by sdpcm-trace or
+// trace.WriteAll) as one replay stream per file/core.
+func LoadTraceStreams(paths ...string) ([]TraceStream, error) {
+	out := make([]TraceStream, 0, len(paths))
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return nil, err
+		}
+		recs, err := trace.ReadAll(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		out = append(out, trace.NewSliceStream(recs))
+	}
+	return out, nil
+}
+
+// CaptureWorkload generates n references of a Table 3 benchmark as trace
+// records (the sdpcm-trace `gen` path, programmatically).
+func CaptureWorkload(bench string, n int, seed uint64) ([]TraceRecord, error) {
+	spec, err := workload.ByName(bench)
+	if err != nil {
+		return nil, err
+	}
+	g, err := workload.NewGenerator(spec, seed)
+	if err != nil {
+		return nil, err
+	}
+	return workload.Capture(g, n), nil
+}
+
+// WriteTrace serialises trace records to the binary trace format.
+func WriteTrace(w io.Writer, recs []TraceRecord) error { return trace.WriteAll(w, recs) }
+
+// ReadTrace deserialises a binary trace stream.
+func ReadTrace(r io.Reader) ([]TraceRecord, error) { return trace.ReadAll(r) }
+
+// WorkloadSpec describes one benchmark's calibrated memory behaviour.
+type WorkloadSpec = workload.Spec
+
+// WorkloadByName returns the Table 3 spec for a benchmark.
+func WorkloadByName(name string) (WorkloadSpec, error) { return workload.ByName(name) }
+
+// DisturbanceRates returns the per-axis WD probabilities of a cell layout
+// at the paper's 20 nm node (Table 1 for the 4F² layout).
+func DisturbanceRates(layout geometry.Layout) (wordLine, bitLine float64) {
+	r := thermal.RatesFor(layout.WordLinePitchF, layout.BitLinePitchF, geometry.FeatureSizeNM)
+	return r.WordLine, r.BitLine
+}
+
+// DisturbanceRatesAt evaluates the thermal model at an arbitrary technology
+// node and cell pitch (in feature sizes) — the §2.2.2 scaling model. It
+// shows WD emerging as PCM scales: negligible at 54 nm, ~10 % at 20 nm.
+func DisturbanceRatesAt(wordLinePitchF, bitLinePitchF int, nodeNM float64) (wordLine, bitLine float64) {
+	r := thermal.RatesFor(wordLinePitchF, bitLinePitchF, nodeNM)
+	return r.WordLine, r.BitLine
+}
+
+// CapacityComparison reproduces the §6.1 capacity analysis for a memory of
+// the given size (GB): SD-PCM vs the DIN design at equal cell-array area.
+func CapacityComparison(capacityGB float64) (sdpcmGB, dinGB, improvement float64) {
+	c := geometry.CompareCapacity(capacityGB, geometry.PaperDIMM)
+	return c.SDPCMCapacityGB, c.DINCapacityGB, c.ImprovementFraction
+}
+
+// Experiment harness re-exports: each Figure function regenerates the
+// corresponding table/figure of the paper's §6 and returns a renderable
+// result table.
+
+// ExperimentOptions scales the experiment harness (trace length, cores,
+// memory size, benchmark subset, seed).
+type ExperimentOptions = experiments.Options
+
+// ResultTable is a named grid of experiment results; its String method
+// renders a fixed-width table mirroring the paper's figure.
+type ResultTable = stats.Table
+
+// Experiment regenerators, one per published table/figure.
+var (
+	Table1   = experiments.Table1
+	Capacity = experiments.Capacity
+	Fig4     = experiments.Fig4
+	Fig5     = experiments.Fig5
+	Fig11    = experiments.Fig11
+	Fig12    = experiments.Fig12
+	Fig13    = experiments.Fig13
+	Fig14    = experiments.Fig14
+	Fig15    = experiments.Fig15
+	Fig16    = experiments.Fig16
+	Fig17    = experiments.Fig17
+	Fig18    = experiments.Fig18
+	Fig19    = experiments.Fig19
+	Overhead = experiments.Overhead
+)
