@@ -96,3 +96,52 @@ func TestPublicExperimentTables(t *testing.T) {
 		t.Fatalf("Fig12 produced no corrections:\n%s", fig)
 	}
 }
+
+// TestPublicSweepRunner drives the declarative sweep executor through the
+// facade: a grid shared across two figure calls deduplicates points, a
+// parallel run matches a sequential one byte-for-byte, and the observer
+// sees every point.
+func TestPublicSweepRunner(t *testing.T) {
+	o := sdpcm.ExperimentOptions{
+		RefsPerCore: 800, Cores: 2, MemPages: 1 << 15, RegionPages: 512,
+		Benchmarks: []string{"lbm"}, Seed: 1,
+	}
+	events := 0
+	o.Observer = sdpcm.SweepObserverFunc(func(sdpcm.SweepEvent) { events++ })
+	o.Exec = sdpcm.NewSweepRunner(o)
+	// Fig12 and Fig13 declare the same ECP grid: the second figure must be
+	// served entirely from the shared cache.
+	t12, err := sdpcm.Fig12(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after12 := o.Exec.Stats()
+	t13, err := sdpcm.Fig13(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := o.Exec.Stats()
+	if st.SimRuns != after12.SimRuns {
+		t.Errorf("Fig13 simulated %d new points after Fig12, want 0", st.SimRuns-after12.SimRuns)
+	}
+	if events != st.Points {
+		t.Errorf("observer saw %d events for %d points", events, st.Points)
+	}
+	// A sequential uncached executor reproduces both tables byte-for-byte.
+	seq := o
+	seq.Parallel = 1
+	seq.NoCache = true
+	seq.Observer = nil
+	seq.Exec = nil
+	s12, err := sdpcm.Fig12(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s13, err := sdpcm.Fig13(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t12.String() != s12.String() || t13.String() != s13.String() {
+		t.Error("parallel cached tables differ from sequential uncached tables")
+	}
+}

@@ -7,6 +7,12 @@
 //
 // produces a compact machine-readable rendition of the whole evaluation.
 // For paper-scale runs use cmd/sdpcm-bench with -refs 10000000.
+//
+// Figures execute through the declarative sweep runner: points run in
+// parallel (bit-identical results regardless of worker count) and repeat
+// points are memoized. BenchmarkAllFiguresSharedCache measures the whole
+// evaluation with the cache shared across figures, the sdpcm-bench -exp all
+// path.
 package sdpcm_test
 
 import (
@@ -164,6 +170,30 @@ func BenchmarkFig19(b *testing.B) {
 		}
 		b.ReportMetric(t.Get("gmean", "WC"), "wc-speedup")
 		b.ReportMetric(t.Get("gmean", "WC+LazyC"), "wc-lazyc-speedup")
+	}
+}
+
+// BenchmarkAllFiguresSharedCache runs every simulation-backed figure through
+// one shared sweep executor — the sdpcm-bench -exp all path — and reports
+// how much work the memo cache deduplicates across figures.
+func BenchmarkAllFiguresSharedCache(b *testing.B) {
+	figs := []func(sdpcm.ExperimentOptions) (*sdpcm.ResultTable, error){
+		sdpcm.Fig4, sdpcm.Fig5, sdpcm.Fig11, sdpcm.Fig12, sdpcm.Fig13,
+		sdpcm.Fig14, sdpcm.Fig15, sdpcm.Fig16, sdpcm.Fig17, sdpcm.Fig18,
+		sdpcm.Fig19,
+	}
+	for i := 0; i < b.N; i++ {
+		o := benchOpts()
+		o.Exec = sdpcm.NewSweepRunner(o)
+		for _, f := range figs {
+			if _, err := f(o); err != nil {
+				b.Fatal(err)
+			}
+		}
+		st := o.Exec.Stats()
+		b.ReportMetric(float64(st.Points), "points")
+		b.ReportMetric(float64(st.SimRuns), "sim-runs")
+		b.ReportMetric(float64(st.CacheHits), "cache-hits")
 	}
 }
 

@@ -5,9 +5,16 @@
 //	sdpcm-bench -exp all                  # every experiment
 //	sdpcm-bench -exp fig11 -refs 100000   # the headline comparison, bigger
 //	sdpcm-bench -exp fig12,fig13 -benchmarks lbm,mcf
+//	sdpcm-bench -exp all -parallel 8 -progress
 //
-// Every experiment prints a fixed-width table whose rows/columns mirror the
-// published figure; see EXPERIMENTS.md for paper-vs-measured commentary.
+// Every experiment prints a fixed-width table (on stdout) whose rows and
+// columns mirror the published figure; see EXPERIMENTS.md for
+// paper-vs-measured commentary. Timing and progress go to stderr.
+//
+// All experiments share one sweep executor: independent simulation points
+// run on -parallel workers and points shared between figures (e.g. the
+// per-benchmark baseline) simulate once per invocation. Results are
+// bit-identical to a sequential run regardless of -parallel.
 package main
 
 import (
@@ -46,15 +53,39 @@ var experiments = []struct {
 	{"overhead", static(sdpcm.Overhead)},
 }
 
+// tally accumulates sweep-point events for one experiment's summary line.
+type tally struct {
+	points, cached int
+	simWall        time.Duration
+}
+
+func (t *tally) PointDone(ev sdpcm.SweepEvent) {
+	t.points++
+	if ev.Cached {
+		t.cached++
+	} else {
+		t.simWall += ev.Wall
+	}
+}
+
+func (t *tally) reset() tally {
+	out := *t
+	*t = tally{}
+	return out
+}
+
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "comma-separated experiment list, or 'all'")
-		refs   = flag.Int("refs", 6000, "main-memory references per core per run (paper: 10M)")
-		cores  = flag.Int("cores", 8, "cores in the CMP")
-		seed   = flag.Uint64("seed", 42, "root random seed")
-		bench  = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all of Table 3)")
-		memMB  = flag.Int("mem-mb", 512, "simulated PCM capacity in MB")
-		region = flag.Int("region-pages", 1024, "(n:m) marking-region size in pages (paper: 16384 = 64MB)")
+		exp      = flag.String("exp", "all", "comma-separated experiment list, or 'all'")
+		refs     = flag.Int("refs", 6000, "main-memory references per core per run (paper: 10M)")
+		cores    = flag.Int("cores", 8, "cores in the CMP")
+		seed     = flag.Uint64("seed", 42, "root random seed")
+		bench    = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all of Table 3)")
+		memMB    = flag.Int("mem-mb", 512, "simulated PCM capacity in MB")
+		region   = flag.Int("region-pages", 1024, "(n:m) marking-region size in pages (paper: 16384 = 64MB)")
+		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = all cores, 1 = sequential; results are identical)")
+		progress = flag.Bool("progress", false, "stream one line per completed simulation point to stderr")
+		noCache  = flag.Bool("no-cache", false, "disable result memoization (re-simulate points shared between figures)")
 	)
 	flag.Parse()
 
@@ -64,10 +95,21 @@ func main() {
 		Seed:        *seed,
 		MemPages:    *memMB * 256, // 4KB pages
 		RegionPages: *region,
+		Parallel:    *parallel,
+		NoCache:     *noCache,
 	}
 	if *bench != "" {
 		opts.Benchmarks = strings.Split(*bench, ",")
 	}
+	counts := &tally{}
+	if *progress {
+		opts.Observer = sdpcm.SweepMulti(counts, sdpcm.SweepProgress(os.Stderr))
+	} else {
+		opts.Observer = counts
+	}
+	// One executor for the whole invocation: its memo cache spans
+	// experiments, so points shared between figures simulate once.
+	opts.Exec = sdpcm.NewSweepRunner(opts)
 
 	want := map[string]bool{}
 	runAll := *exp == "all"
@@ -91,17 +133,33 @@ func main() {
 		}
 	}
 
+	start := time.Now()
 	for _, e := range experiments {
 		if !runAll && !want[e.name] {
 			continue
 		}
-		start := time.Now()
+		expStart := time.Now()
 		tb, err := e.run(opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
 			os.Exit(1)
 		}
 		fmt.Println(tb)
-		fmt.Printf("(%s completed in %v)\n\n", e.name, time.Since(start).Round(time.Millisecond))
+		fmt.Println()
+		c := counts.reset()
+		if c.points > 0 {
+			fmt.Fprintf(os.Stderr, "(%s completed in %v: %d points, %d simulated, %d cache hits)\n",
+				e.name, time.Since(expStart).Round(time.Millisecond),
+				c.points, c.points-c.cached, c.cached)
+		} else {
+			fmt.Fprintf(os.Stderr, "(%s completed in %v)\n",
+				e.name, time.Since(expStart).Round(time.Millisecond))
+		}
+	}
+	st := opts.Exec.Stats()
+	if st.Points > 0 {
+		fmt.Fprintf(os.Stderr, "total: %d points, %d simulated, %d cache hits, %v wall (parallel=%d)\n",
+			st.Points, st.SimRuns, st.CacheHits,
+			time.Since(start).Round(time.Millisecond), *parallel)
 	}
 }

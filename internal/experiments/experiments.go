@@ -1,7 +1,15 @@
 // Package experiments regenerates every table and figure of the paper's
-// evaluation (§6). Each Figure function runs the required simulations and
-// returns a stats.Table whose rows/columns mirror the published plot; the
-// sdpcm-bench binary and the repository's bench_test.go both drive these.
+// evaluation (§6). Each Figure function declares its grid of simulation
+// points (scheme × benchmark × knob), hands the grid to the sweep executor
+// (internal/runner) and assembles the results into a stats.Table whose
+// rows/columns mirror the published plot; the sdpcm-bench binary and the
+// repository's bench_test.go both drive these.
+//
+// Execution is parallel and memoized: independent points run on a bounded
+// worker pool with bit-identical results regardless of worker count, and
+// points shared between figures (the per-benchmark baseline, most notably)
+// simulate once per executor. Pass a shared Exec in Options to span the
+// memo cache across figures, as sdpcm-bench -exp all does.
 //
 // Absolute cycle counts depend on the synthetic workloads, so the tables are
 // to be read the way the paper's figures are: normalised ratios, orderings
@@ -15,6 +23,7 @@ import (
 	"sdpcm/internal/alloc"
 	"sdpcm/internal/core"
 	"sdpcm/internal/geometry"
+	"sdpcm/internal/runner"
 	"sdpcm/internal/sim"
 	"sdpcm/internal/stats"
 	"sdpcm/internal/thermal"
@@ -37,6 +46,18 @@ type Options struct {
 	Benchmarks []string
 	// Seed for reproducibility.
 	Seed uint64
+	// Parallel bounds concurrent simulations (0 = GOMAXPROCS, 1 =
+	// sequential). Results are identical either way.
+	Parallel int
+	// NoCache disables point memoization.
+	NoCache bool
+	// Observer receives per-point completion events.
+	Observer runner.Observer
+	// Exec, when set, executes every point and wins over
+	// Parallel/NoCache/Observer. Sharing one executor across several figure
+	// calls spans the memo cache across them, so points common to multiple
+	// figures simulate once (the sdpcm-bench -exp all path).
+	Exec *runner.Runner
 }
 
 func (o Options) normalized() Options {
@@ -61,17 +82,52 @@ func (o Options) normalized() Options {
 	return o
 }
 
-// run executes one simulation under the options.
-func (o Options) run(s core.Scheme, bench string, queueCap int) (sim.Result, error) {
-	return sim.Run(sim.Config{
-		Scheme:        s,
-		Mix:           workload.HomogeneousMix(bench, o.Cores),
-		RefsPerCore:   o.RefsPerCore,
-		MemPages:      o.MemPages,
-		RegionPages:   o.RegionPages,
-		WriteQueueCap: queueCap,
-		Seed:          o.Seed,
-	})
+// base extracts the sweep-wide simulation parameters.
+func (o Options) base() runner.Base {
+	return runner.Base{
+		RefsPerCore: o.RefsPerCore,
+		Cores:       o.Cores,
+		MemPages:    o.MemPages,
+		RegionPages: o.RegionPages,
+		Seed:        o.Seed,
+	}
+}
+
+// exec returns the executor for one figure: the shared one when set, else a
+// fresh per-figure executor built from the options.
+func (o Options) exec() *runner.Runner {
+	if o.Exec != nil {
+		return o.Exec
+	}
+	return NewRunner(o)
+}
+
+// NewRunner builds a sweep executor from the options. Callers running
+// several figures in one process assign it to Options.Exec so the memo
+// cache deduplicates points across figures.
+func NewRunner(o Options) *runner.Runner {
+	return &runner.Runner{Workers: o.Parallel, NoCache: o.NoCache, Observer: o.Observer}
+}
+
+// rosterSpecs declares a scheme-roster × benchmark grid, tagging each point
+// with its scheme name (the figure's column label).
+func rosterSpecs(benches []string, roster []core.Scheme) []runner.Spec {
+	specs := make([]runner.Spec, 0, len(benches)*len(roster))
+	for _, b := range benches {
+		for _, s := range roster {
+			specs = append(specs, runner.Spec{Scheme: s, Bench: b, Tag: s.Name})
+		}
+	}
+	return specs
+}
+
+// lookup indexes a sweep's results by (benchmark, tag) for table assembly.
+func lookup(specs []runner.Spec, res []sim.Result) func(bench, tag string) sim.Result {
+	m := make(map[[2]string]sim.Result, len(specs))
+	for i, sp := range specs {
+		m[[2]string{sp.Bench, sp.Tag}] = res[i]
+	}
+	return func(bench, tag string) sim.Result { return m[[2]string{bench, tag}] }
 }
 
 // Table1 regenerates the disturbance-probability table (§2.2.2).
@@ -109,17 +165,22 @@ func Capacity() *stats.Table {
 // dense PCM with DIN word-line mitigation and differential write.
 func Fig4(o Options) (*stats.Table, error) {
 	o = o.normalized()
+	specs := runner.Grid{
+		Schemes:    []core.Scheme{core.Baseline()},
+		Benchmarks: o.Benchmarks,
+	}.Expand()
+	res, err := o.exec().Run(o.base(), specs)
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("Figure 4: WD errors when writing a PCM line (4F²)",
 		"wl-avg", "wl-max", "bl-avg/line", "bl-max/line")
-	for _, b := range o.Benchmarks {
-		r, err := o.run(core.Baseline(), b, 0)
-		if err != nil {
-			return nil, err
-		}
-		t.Set(b, "wl-avg", r.WordLineErrorsPerWrite())
-		t.Set(b, "wl-max", float64(r.WD.MaxWordLinePerWrite))
-		t.Set(b, "bl-avg/line", r.BitLineErrorsPerAdjacentLine())
-		t.Set(b, "bl-max/line", float64(r.WD.MaxBitLinePerLine))
+	for i, sp := range specs {
+		r := res[i]
+		t.Set(sp.Bench, "wl-avg", r.WordLineErrorsPerWrite())
+		t.Set(sp.Bench, "wl-max", float64(r.WD.MaxWordLinePerWrite))
+		t.Set(sp.Bench, "bl-avg/line", r.BitLineErrorsPerAdjacentLine())
+		t.Set(sp.Bench, "bl-max/line", float64(r.WD.MaxBitLinePerLine))
 	}
 	t.AddGeoMeanRow()
 	return t, nil
@@ -130,26 +191,27 @@ func Fig4(o Options) (*stats.Table, error) {
 // Columns are normalised execution time (higher = slower).
 func Fig5(o Options) (*stats.Table, error) {
 	o = o.normalized()
-	t := stats.NewTable("Figure 5: VnC overhead at runtime (normalised exec. time)",
-		"no-VnC", "verify-only", "verify+correct")
 	verifyOnly := core.Baseline()
 	verifyOnly.NoCorrectCharge = true
+	var specs []runner.Spec
 	for _, b := range o.Benchmarks {
-		ref, err := o.run(core.WDFree(), b, 0)
-		if err != nil {
-			return nil, err
-		}
-		vo, err := o.run(verifyOnly, b, 0)
-		if err != nil {
-			return nil, err
-		}
-		full, err := o.run(core.Baseline(), b, 0)
-		if err != nil {
-			return nil, err
-		}
+		specs = append(specs,
+			runner.Spec{Scheme: core.WDFree(), Bench: b, Tag: "ref"},
+			runner.Spec{Scheme: verifyOnly, Bench: b, Tag: "verify-only"},
+			runner.Spec{Scheme: core.Baseline(), Bench: b, Tag: "full"})
+	}
+	res, err := o.exec().Run(o.base(), specs)
+	if err != nil {
+		return nil, err
+	}
+	get := lookup(specs, res)
+	t := stats.NewTable("Figure 5: VnC overhead at runtime (normalised exec. time)",
+		"no-VnC", "verify-only", "verify+correct")
+	for _, b := range o.Benchmarks {
+		ref := get(b, "ref")
 		t.Set(b, "no-VnC", 1.0)
-		t.Set(b, "verify-only", vo.CPI/ref.CPI)
-		t.Set(b, "verify+correct", full.CPI/ref.CPI)
+		t.Set(b, "verify-only", get(b, "verify-only").CPI/ref.CPI)
+		t.Set(b, "verify+correct", get(b, "full").CPI/ref.CPI)
 	}
 	t.AddGeoMeanRow()
 	return t, nil
@@ -160,28 +222,21 @@ func Fig5(o Options) (*stats.Table, error) {
 func Fig11(o Options) (*stats.Table, error) {
 	o = o.normalized()
 	roster := core.Figure11Roster()
+	specs := rosterSpecs(o.Benchmarks, roster)
+	res, err := o.exec().Run(o.base(), specs)
+	if err != nil {
+		return nil, err
+	}
+	get := lookup(specs, res)
 	cols := make([]string, len(roster))
 	for i, s := range roster {
 		cols[i] = s.Name
 	}
 	t := stats.NewTable("Figure 11: system performance (normalised to baseline)", cols...)
 	for _, b := range o.Benchmarks {
-		base, err := o.run(core.Baseline(), b, 0)
-		if err != nil {
-			return nil, err
-		}
+		base := get(b, "baseline")
 		for _, s := range roster {
-			var cpi float64
-			if s.Name == "baseline" {
-				cpi = base.CPI
-			} else {
-				r, err := o.run(s, b, 0)
-				if err != nil {
-					return nil, err
-				}
-				cpi = r.CPI
-			}
-			t.Set(b, s.Name, stats.Speedup(base.CPI, cpi))
+			t.Set(b, s.Name, stats.Speedup(base.CPI, get(b, s.Name).CPI))
 		}
 	}
 	t.AddGeoMeanRow()
@@ -191,27 +246,46 @@ func Fig11(o Options) (*stats.Table, error) {
 // ECPSweep is the entry counts of §6.4.
 var ECPSweep = []int{0, 2, 4, 6, 8, 12}
 
-// Fig12 regenerates Figure 12: correction operations per write under
-// LazyCorrection with varying ECP entries.
-func Fig12(o Options) (*stats.Table, error) {
-	o = o.normalized()
-	cols := make([]string, len(ECPSweep))
-	for i, n := range ECPSweep {
-		cols[i] = fmt.Sprintf("ECP-%d", n)
-	}
-	t := stats.NewTable("Figure 12: corrections per write vs ECP entries", cols...)
-	for _, b := range o.Benchmarks {
+// ecpSpecs declares the §6.4 grid: LazyCorrection per ECP provisioning
+// (ECP-0 degenerates to basic VnC) × benchmark, tagged by column label.
+func ecpSpecs(benches []string) []runner.Spec {
+	var specs []runner.Spec
+	for _, b := range benches {
 		for _, n := range ECPSweep {
 			s := core.LazyC(n)
 			if n == 0 {
 				s = core.Baseline() // ECP-0 == basic VnC
 			}
-			r, err := o.run(s, b, 0)
-			if err != nil {
-				return nil, err
-			}
-			t.Set(b, fmt.Sprintf("ECP-%d", n), r.CorrectionsPerWrite())
+			specs = append(specs, runner.Spec{
+				Scheme: s, Bench: b, Tag: fmt.Sprintf("ECP-%d", n),
+			})
 		}
+	}
+	return specs
+}
+
+// ecpCols returns the Figure 12/13 column labels.
+func ecpCols() []string {
+	cols := make([]string, len(ECPSweep))
+	for i, n := range ECPSweep {
+		cols[i] = fmt.Sprintf("ECP-%d", n)
+	}
+	return cols
+}
+
+// Fig12 regenerates Figure 12: correction operations per write under
+// LazyCorrection with varying ECP entries.
+func Fig12(o Options) (*stats.Table, error) {
+	o = o.normalized()
+	specs := ecpSpecs(o.Benchmarks)
+	res, err := o.exec().Run(o.base(), specs)
+	if err != nil {
+		return nil, err
+	}
+	cols := ecpCols()
+	t := stats.NewTable("Figure 12: corrections per write vs ECP entries", cols...)
+	for i, sp := range specs {
+		t.Set(sp.Bench, sp.Tag, res[i].CorrectionsPerWrite())
 	}
 	// Arithmetic mean row (the paper's "average" bar); corrections can be
 	// zero, which a geomean would drop.
@@ -226,29 +300,21 @@ func Fig12(o Options) (*stats.Table, error) {
 }
 
 // Fig13 regenerates Figure 13: performance vs ECP entries, normalised to
-// baseline.
+// baseline (which is exactly the ECP-0 point).
 func Fig13(o Options) (*stats.Table, error) {
 	o = o.normalized()
-	cols := make([]string, len(ECPSweep))
-	for i, n := range ECPSweep {
-		cols[i] = fmt.Sprintf("ECP-%d", n)
+	specs := ecpSpecs(o.Benchmarks)
+	res, err := o.exec().Run(o.base(), specs)
+	if err != nil {
+		return nil, err
 	}
-	t := stats.NewTable("Figure 13: normalised performance vs ECP entries", cols...)
+	get := lookup(specs, res)
+	t := stats.NewTable("Figure 13: normalised performance vs ECP entries", ecpCols()...)
 	for _, b := range o.Benchmarks {
-		base, err := o.run(core.Baseline(), b, 0)
-		if err != nil {
-			return nil, err
-		}
+		base := get(b, "ECP-0")
 		for _, n := range ECPSweep {
-			s := core.LazyC(n)
-			if n == 0 {
-				s = core.Baseline()
-			}
-			r, err := o.run(s, b, 0)
-			if err != nil {
-				return nil, err
-			}
-			t.Set(b, fmt.Sprintf("ECP-%d", n), stats.Speedup(base.CPI, r.CPI))
+			tag := fmt.Sprintf("ECP-%d", n)
+			t.Set(b, tag, stats.Speedup(base.CPI, get(b, tag).CPI))
 		}
 	}
 	t.AddGeoMeanRow()
@@ -263,6 +329,23 @@ var LifetimeSweep = []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0}
 // speedup relative to the pristine DIMM (1.0 at 0% lifetime).
 func Fig14(o Options) (*stats.Table, error) {
 	o = o.normalized()
+	lifeTag := func(f float64) string { return fmt.Sprintf("life-%g", f) }
+	var specs []runner.Spec
+	for _, b := range o.Benchmarks {
+		for _, f := range LifetimeSweep {
+			specs = append(specs, runner.Spec{
+				Scheme:    core.LazyC(core.DefaultECPEntries),
+				Bench:     b,
+				Tag:       lifeTag(f),
+				Overrides: runner.Overrides{HardErrorLifetime: f},
+			})
+		}
+	}
+	res, err := o.exec().Run(o.base(), specs)
+	if err != nil {
+		return nil, err
+	}
+	get := lookup(specs, res)
 	t := stats.NewTable("Figure 14: performance over DIMM lifetime (LazyC ECP-6)",
 		"normalised-perf")
 	t.SetFormat("%16.5f")
@@ -270,13 +353,7 @@ func Fig14(o Options) (*stats.Table, error) {
 	for _, f := range LifetimeSweep {
 		var cpis []float64
 		for _, b := range o.Benchmarks {
-			s := core.LazyC(core.DefaultECPEntries)
-			s.HardErrorFn = core.HardErrorModel(f)
-			r, err := o.run(s, b, 0)
-			if err != nil {
-				return nil, err
-			}
-			cpis = append(cpis, r.CPI)
+			cpis = append(cpis, get(b, lifeTag(f)).CPI)
 		}
 		cpi := stats.GeoMean(cpis)
 		if f == 0 {
@@ -295,22 +372,31 @@ var QueueSweep = []int{8, 16, 32, 64}
 // size, normalised to baseline (queue 32).
 func Fig15(o Options) (*stats.Table, error) {
 	o = o.normalized()
+	wqTag := func(q int) string { return fmt.Sprintf("wq-%d", q) }
+	var specs []runner.Spec
+	for _, b := range o.Benchmarks {
+		specs = append(specs, runner.Spec{Scheme: core.Baseline(), Bench: b, Tag: "baseline"})
+		for _, q := range QueueSweep {
+			specs = append(specs, runner.Spec{
+				Scheme: core.LazyCPreRead(core.DefaultECPEntries), Bench: b,
+				QueueCap: q, Tag: wqTag(q),
+			})
+		}
+	}
+	res, err := o.exec().Run(o.base(), specs)
+	if err != nil {
+		return nil, err
+	}
+	get := lookup(specs, res)
 	cols := make([]string, len(QueueSweep))
 	for i, q := range QueueSweep {
-		cols[i] = fmt.Sprintf("wq-%d", q)
+		cols[i] = wqTag(q)
 	}
 	t := stats.NewTable("Figure 15: LazyC+PreRead vs write queue size (normalised to baseline)", cols...)
 	for _, b := range o.Benchmarks {
-		base, err := o.run(core.Baseline(), b, 0)
-		if err != nil {
-			return nil, err
-		}
+		base := get(b, "baseline")
 		for _, q := range QueueSweep {
-			r, err := o.run(core.LazyCPreRead(core.DefaultECPEntries), b, q)
-			if err != nil {
-				return nil, err
-			}
-			t.Set(b, fmt.Sprintf("wq-%d", q), stats.Speedup(base.CPI, r.CPI))
+			t.Set(b, wqTag(q), stats.Speedup(base.CPI, get(b, wqTag(q)).CPI))
 		}
 	}
 	t.AddGeoMeanRow()
@@ -324,27 +410,51 @@ var NMSweep = []alloc.Tag{alloc.Tag12, alloc.Tag23, alloc.Tag34, alloc.Tag11}
 // VnC, normalised to baseline ((1:1)).
 func Fig16(o Options) (*stats.Table, error) {
 	o = o.normalized()
+	var specs []runner.Spec
+	for _, b := range o.Benchmarks {
+		for _, tag := range NMSweep {
+			s := core.NMAlloc(tag)
+			if tag == alloc.Tag11 {
+				s = core.Baseline()
+			}
+			specs = append(specs, runner.Spec{Scheme: s, Bench: b, Tag: tag.String()})
+		}
+	}
+	res, err := o.exec().Run(o.base(), specs)
+	if err != nil {
+		return nil, err
+	}
+	get := lookup(specs, res)
 	cols := make([]string, len(NMSweep))
 	for i, tag := range NMSweep {
 		cols[i] = tag.String()
 	}
 	t := stats.NewTable("Figure 16: performance of (n:m) allocators (normalised to baseline)", cols...)
 	for _, b := range o.Benchmarks {
-		base, err := o.run(core.Baseline(), b, 0)
-		if err != nil {
-			return nil, err
-		}
+		base := get(b, alloc.Tag11.String())
 		for _, tag := range NMSweep {
-			s := core.NMAlloc(tag)
-			if tag == alloc.Tag11 {
-				s = core.Baseline()
-			}
-			r, err := o.run(s, b, 0)
-			if err != nil {
-				return nil, err
-			}
-			t.Set(b, tag.String(), stats.Speedup(base.CPI, r.CPI))
+			t.Set(b, tag.String(), stats.Speedup(base.CPI, get(b, tag.String()).CPI))
 		}
+	}
+	t.AddGeoMeanRow()
+	return t, nil
+}
+
+// lifetimeTable is the shared shape of Figures 17 and 18: LazyC (ECP-6) per
+// benchmark, reduced to a single lifetime metric.
+func lifetimeTable(o Options, title string, metric func(sim.Result) float64) (*stats.Table, error) {
+	specs := runner.Grid{
+		Schemes:    []core.Scheme{core.LazyC(core.DefaultECPEntries)},
+		Benchmarks: o.Benchmarks,
+	}.Expand()
+	res, err := o.exec().Run(o.base(), specs)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable(title, "lifetime")
+	t.SetFormat("%12.5f")
+	for i, sp := range specs {
+		t.Set(sp.Bench, "lifetime", metric(res[i]))
 	}
 	t.AddGeoMeanRow()
 	return t, nil
@@ -352,34 +462,14 @@ func Fig16(o Options) (*stats.Table, error) {
 
 // Fig17 regenerates Figure 17: normalised data-chip lifetime under LazyC.
 func Fig17(o Options) (*stats.Table, error) {
-	o = o.normalized()
-	t := stats.NewTable("Figure 17: normalised data-chip lifetime", "lifetime")
-	t.SetFormat("%12.5f")
-	for _, b := range o.Benchmarks {
-		r, err := o.run(core.LazyC(core.DefaultECPEntries), b, 0)
-		if err != nil {
-			return nil, err
-		}
-		t.Set(b, "lifetime", r.DataChipLifetime())
-	}
-	t.AddGeoMeanRow()
-	return t, nil
+	return lifetimeTable(o.normalized(), "Figure 17: normalised data-chip lifetime",
+		sim.Result.DataChipLifetime)
 }
 
 // Fig18 regenerates Figure 18: normalised ECP-chip lifetime under LazyC.
 func Fig18(o Options) (*stats.Table, error) {
-	o = o.normalized()
-	t := stats.NewTable("Figure 18: normalised ECP-chip lifetime", "lifetime")
-	t.SetFormat("%12.5f")
-	for _, b := range o.Benchmarks {
-		r, err := o.run(core.LazyC(core.DefaultECPEntries), b, 0)
-		if err != nil {
-			return nil, err
-		}
-		t.Set(b, "lifetime", r.ECPChipLifetime())
-	}
-	t.AddGeoMeanRow()
-	return t, nil
+	return lifetimeTable(o.normalized(), "Figure 18: normalised ECP-chip lifetime",
+		sim.Result.ECPChipLifetime)
 }
 
 // Fig19 regenerates Figure 19: integrating write cancellation, normalised
@@ -392,28 +482,21 @@ func Fig19(o Options) (*stats.Table, error) {
 		core.LazyC(core.DefaultECPEntries),
 		core.WCLazyC(core.DefaultECPEntries),
 	}
+	specs := rosterSpecs(o.Benchmarks, roster)
+	res, err := o.exec().Run(o.base(), specs)
+	if err != nil {
+		return nil, err
+	}
+	get := lookup(specs, res)
 	cols := make([]string, len(roster))
 	for i, s := range roster {
 		cols[i] = s.Name
 	}
 	t := stats.NewTable("Figure 19: write cancellation integration (normalised to baseline)", cols...)
 	for _, b := range o.Benchmarks {
-		base, err := o.run(core.Baseline(), b, 0)
-		if err != nil {
-			return nil, err
-		}
+		base := get(b, "baseline")
 		for _, s := range roster {
-			var cpi float64
-			if s.Name == "baseline" {
-				cpi = base.CPI
-			} else {
-				r, err := o.run(s, b, 0)
-				if err != nil {
-					return nil, err
-				}
-				cpi = r.CPI
-			}
-			t.Set(b, s.Name, stats.Speedup(base.CPI, cpi))
+			t.Set(b, s.Name, stats.Speedup(base.CPI, get(b, s.Name).CPI))
 		}
 	}
 	t.AddGeoMeanRow()

@@ -1,0 +1,66 @@
+package runner
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// PointEvent describes one completed sweep point.
+type PointEvent struct {
+	// Index/Total locate the point within its Run call's spec list.
+	Index, Total int
+	Spec         Spec
+	// Wall is the point's wall time, including any wait for a concurrently
+	// executing duplicate.
+	Wall   time.Duration
+	Cached bool
+	Err    error
+}
+
+// Observer receives per-point completion events from a Runner. The Runner
+// serializes calls, so implementations need no locking of their own.
+type Observer interface {
+	PointDone(PointEvent)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(PointEvent)
+
+// PointDone implements Observer.
+func (f ObserverFunc) PointDone(ev PointEvent) { f(ev) }
+
+// Progress returns an observer streaming one line per completed point to w
+// — the sdpcm-bench -progress view.
+func Progress(w io.Writer) Observer {
+	return ObserverFunc(func(ev PointEvent) {
+		status := "run"
+		switch {
+		case ev.Err != nil:
+			status = "err"
+		case ev.Cached:
+			status = "hit"
+		}
+		knobs := ""
+		if ev.Spec.QueueCap != 0 {
+			knobs += fmt.Sprintf(" wq=%d", ev.Spec.QueueCap)
+		}
+		if l := ev.Spec.Overrides.HardErrorLifetime; l > 0 {
+			knobs += fmt.Sprintf(" life=%g", l)
+		}
+		fmt.Fprintf(w, "[%3d/%3d] %-3s %-22s %-10s%s %v\n",
+			ev.Index+1, ev.Total, status, ev.Spec.Scheme.Name, ev.Spec.Bench,
+			knobs, ev.Wall.Round(time.Millisecond))
+	})
+}
+
+// Multi fans each event out to every observer in order.
+func Multi(obs ...Observer) Observer {
+	return ObserverFunc(func(ev PointEvent) {
+		for _, o := range obs {
+			if o != nil {
+				o.PointDone(ev)
+			}
+		}
+	})
+}

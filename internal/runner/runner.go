@@ -1,0 +1,278 @@
+// Package runner is the declarative sweep executor behind the experiment
+// harness. The paper's evaluation (§6) is a grid of scheme × benchmark ×
+// knob points; instead of each figure hand-rolling a sequential loop of
+// sim.Run calls, a figure declares its points as a list of Specs (usually
+// expanded from a Grid), hands them to a Runner, and assembles the returned
+// results into its table.
+//
+// The Runner executes points on a bounded pool of worker goroutines.
+// Because every point's sim.Config — including its seed — is fully resolved
+// from (Base, Spec) before dispatch and sim.Run is a pure function of its
+// config, results are bit-identical to a sequential run regardless of worker
+// count or completion order.
+//
+// A Runner also memoizes results by a canonical encoding of the resolved
+// config (see Key): points shared between figures — e.g. the per-benchmark
+// baseline re-run today by Fig4, Fig5, Fig11, Fig12 ... — simulate once per
+// Runner, with concurrent duplicates coalesced onto a single execution.
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"sdpcm/internal/core"
+	"sdpcm/internal/sim"
+	"sdpcm/internal/workload"
+)
+
+// Base holds the sweep-wide simulation parameters shared by every point of
+// a grid: everything about the run that is not the design point itself.
+// Zero fields fall back to the sim package defaults (Cores to 8).
+type Base struct {
+	RefsPerCore int
+	Cores       int
+	MemPages    int
+	RegionPages int
+	Seed        uint64
+}
+
+func (b Base) normalized() Base {
+	if b.Cores <= 0 {
+		b.Cores = 8
+	}
+	return b
+}
+
+// Overrides carries the per-point knobs beyond (scheme, benchmark, queue
+// cap). Each field is declarative — a value, not a function — so the cache
+// can key on it.
+type Overrides struct {
+	// HardErrorLifetime models device aging (Fig. 14): the resolved scheme
+	// gets HardErrorFn = core.HardErrorModel(HardErrorLifetime). 0 = pristine.
+	HardErrorLifetime float64
+	// WearLevelPsi enables intra-row Start-Gap wear leveling (0 disables).
+	WearLevelPsi int
+}
+
+// Spec names one simulation point of a sweep: the design point, the
+// workload, the write-queue capacity and any per-point overrides. Tag is a
+// free-form label carried through to observers and table assembly (figures
+// typically set it to the point's column label or role).
+type Spec struct {
+	Scheme    core.Scheme
+	Bench     string
+	QueueCap  int
+	Tag       string
+	Overrides Overrides
+}
+
+// Resolve expands the spec into the full simulation config it names.
+func (s Spec) Resolve(b Base) sim.Config {
+	b = b.normalized()
+	sc := s.Scheme
+	if s.Overrides.HardErrorLifetime > 0 {
+		sc.HardErrorFn = core.HardErrorModel(s.Overrides.HardErrorLifetime)
+	}
+	return sim.Config{
+		Scheme:        sc,
+		Mix:           workload.HomogeneousMix(s.Bench, b.Cores),
+		RefsPerCore:   b.RefsPerCore,
+		MemPages:      b.MemPages,
+		RegionPages:   b.RegionPages,
+		WriteQueueCap: s.QueueCap,
+		WearLevelPsi:  s.Overrides.WearLevelPsi,
+		Seed:          b.Seed,
+	}
+}
+
+// Grid declares a sweep as the cross product of its axes. Empty QueueCaps
+// and Lifetimes collapse to {0} (the Table 2 default queue and a pristine
+// DIMM), so the common scheme × benchmark grid needs only two axes.
+type Grid struct {
+	Schemes    []core.Scheme
+	Benchmarks []string
+	QueueCaps  []int
+	Lifetimes  []float64
+	// Tag is copied to every expanded Spec.
+	Tag string
+}
+
+// Expand lists the grid's points benchmark-major (benchmark outer, then
+// scheme, queue cap, lifetime), mirroring the paper's per-figure loops.
+func (g Grid) Expand() []Spec {
+	qs := g.QueueCaps
+	if len(qs) == 0 {
+		qs = []int{0}
+	}
+	ls := g.Lifetimes
+	if len(ls) == 0 {
+		ls = []float64{0}
+	}
+	specs := make([]Spec, 0, len(g.Benchmarks)*len(g.Schemes)*len(qs)*len(ls))
+	for _, b := range g.Benchmarks {
+		for _, s := range g.Schemes {
+			for _, q := range qs {
+				for _, l := range ls {
+					specs = append(specs, Spec{
+						Scheme:    s,
+						Bench:     b,
+						QueueCap:  q,
+						Tag:       g.Tag,
+						Overrides: Overrides{HardErrorLifetime: l},
+					})
+				}
+			}
+		}
+	}
+	return specs
+}
+
+// Stats is a snapshot of a Runner's counters.
+type Stats struct {
+	// Points is the number of specs executed through Run.
+	Points int
+	// SimRuns is the number of actual sim.Run invocations.
+	SimRuns int
+	// CacheHits counts points served from the memo cache, including points
+	// coalesced onto a concurrently executing duplicate.
+	CacheHits int
+}
+
+// Runner executes sweep points on a bounded worker pool, memoizing results
+// by resolved config. The zero value is ready to use: GOMAXPROCS workers,
+// cache enabled, no observer. A Runner must not be copied after first use;
+// Run may be called concurrently and sequentially-reused — the cache spans
+// all calls, which is how sdpcm-bench -exp all deduplicates points shared
+// between figures.
+type Runner struct {
+	// Workers bounds concurrent sim.Run executions (<=0: GOMAXPROCS).
+	Workers int
+	// NoCache disables memoization (every point simulates).
+	NoCache bool
+	// Observer, when non-nil, receives one event per completed point.
+	// Calls are serialized by the Runner.
+	Observer Observer
+
+	mu    sync.Mutex
+	cache map[string]*entry
+	stats Stats
+
+	obsMu sync.Mutex
+
+	semOnce sync.Once
+	sem     chan struct{}
+}
+
+// entry is one memoized point; done closes when res/err are final.
+type entry struct {
+	done chan struct{}
+	res  sim.Result
+	err  error
+}
+
+// Stats returns a snapshot of the runner's counters.
+func (r *Runner) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// claim returns the cache entry for key and whether the caller owns it
+// (owner must run the simulation and close entry.done).
+func (r *Runner) claim(key string) (*entry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.cache[key]; ok {
+		r.stats.CacheHits++
+		return e, false
+	}
+	if r.cache == nil {
+		r.cache = make(map[string]*entry)
+	}
+	e := &entry{done: make(chan struct{})}
+	r.cache[key] = e
+	return e, true
+}
+
+// exec runs one simulation under the worker-pool semaphore.
+func (r *Runner) exec(cfg sim.Config) (sim.Result, error) {
+	r.semOnce.Do(func() {
+		w := r.Workers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		r.sem = make(chan struct{}, w)
+	})
+	r.sem <- struct{}{}
+	defer func() { <-r.sem }()
+	r.mu.Lock()
+	r.stats.SimRuns++
+	r.mu.Unlock()
+	return sim.Run(cfg)
+}
+
+// Run executes every spec and returns the results in spec order. On
+// failure it returns the error of the lowest-index failing spec, so error
+// reporting is as deterministic as the results themselves.
+//
+// Only the actual simulations occupy worker slots; points waiting on a
+// concurrently executing duplicate (or served from the cache) do not, so a
+// single worker can never deadlock against its own duplicates.
+func (r *Runner) Run(base Base, specs []Spec) ([]sim.Result, error) {
+	results := make([]sim.Result, len(specs))
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	for i, sp := range specs {
+		wg.Add(1)
+		go func(i int, sp Spec) {
+			defer wg.Done()
+			start := time.Now()
+			cfg := sp.Resolve(base)
+			var cached bool
+			key, cacheable := Key(cfg, sp.Overrides.HardErrorLifetime)
+			if cacheable && !r.NoCache {
+				e, owner := r.claim(key)
+				if owner {
+					e.res, e.err = r.exec(cfg)
+					close(e.done)
+				} else {
+					<-e.done
+					cached = true
+				}
+				results[i], errs[i] = e.res, e.err
+			} else {
+				results[i], errs[i] = r.exec(cfg)
+			}
+			r.observe(PointEvent{
+				Index:  i,
+				Total:  len(specs),
+				Spec:   sp,
+				Wall:   time.Since(start),
+				Cached: cached,
+				Err:    errs[i],
+			})
+		}(i, sp)
+	}
+	wg.Wait()
+	r.mu.Lock()
+	r.stats.Points += len(specs)
+	r.mu.Unlock()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+func (r *Runner) observe(ev PointEvent) {
+	obs := r.Observer
+	if obs == nil {
+		return
+	}
+	r.obsMu.Lock()
+	defer r.obsMu.Unlock()
+	obs.PointDone(ev)
+}

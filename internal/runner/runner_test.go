@@ -1,0 +1,268 @@
+package runner
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"sdpcm/internal/alloc"
+	"sdpcm/internal/core"
+	"sdpcm/internal/sim"
+	"sdpcm/internal/trace"
+	"sdpcm/internal/workload"
+)
+
+func testBase() Base {
+	return Base{RefsPerCore: 800, Cores: 2, MemPages: 1 << 14, RegionPages: 256, Seed: 7}
+}
+
+// testSpecs is a small grid with deliberate duplicates (two baseline/lbm
+// points) and distinct knobs.
+func testSpecs() []Spec {
+	return []Spec{
+		{Scheme: core.Baseline(), Bench: "lbm"},
+		{Scheme: core.LazyC(6), Bench: "lbm"},
+		{Scheme: core.Baseline(), Bench: "mcf"},
+		{Scheme: core.Baseline(), Bench: "lbm", Tag: "dup"},
+		{Scheme: core.LazyCPreRead(6), Bench: "mcf", QueueCap: 16},
+		{Scheme: core.LazyC(6), Bench: "lbm", Overrides: Overrides{HardErrorLifetime: 0.5}},
+	}
+}
+
+// TestDeterminism asserts the tentpole guarantee: the same grid run with 1
+// worker and with many workers, and with the cache on and off, produces
+// identical sim.Result values.
+func TestDeterminism(t *testing.T) {
+	base := testBase()
+	specs := testSpecs()
+	var ref []sim.Result
+	for _, r := range []*Runner{
+		{Workers: 1},
+		{Workers: 8},
+		{Workers: 1, NoCache: true},
+		{Workers: 8, NoCache: true},
+	} {
+		res, err := r.Run(base, specs)
+		if err != nil {
+			t.Fatalf("Workers=%d NoCache=%t: %v", r.Workers, r.NoCache, err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		for i := range res {
+			if res[i] != ref[i] {
+				t.Errorf("Workers=%d NoCache=%t: point %d diverged:\n got %+v\nwant %+v",
+					r.Workers, r.NoCache, i, res[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestCacheDedup(t *testing.T) {
+	r := &Runner{Workers: 4}
+	specs := testSpecs()
+	res, err := r.Run(testBase(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if st.Points != len(specs) {
+		t.Errorf("Points = %d, want %d", st.Points, len(specs))
+	}
+	if st.SimRuns != len(specs)-1 || st.CacheHits != 1 {
+		t.Errorf("SimRuns = %d, CacheHits = %d; want %d and 1 (one duplicate point)",
+			st.SimRuns, st.CacheHits, len(specs)-1)
+	}
+	if res[0] != res[3] {
+		t.Error("duplicate specs returned different results")
+	}
+	// A second Run of the same grid is served entirely from the cache.
+	res2, err := r.Run(testBase(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Stats(); got.SimRuns != st.SimRuns {
+		t.Errorf("re-run simulated %d new points, want 0", got.SimRuns-st.SimRuns)
+	}
+	for i := range res2 {
+		if res2[i] != res[i] {
+			t.Errorf("cached point %d differs from original", i)
+		}
+	}
+}
+
+func TestNoCacheRunsEveryPoint(t *testing.T) {
+	r := &Runner{Workers: 2, NoCache: true}
+	specs := testSpecs()
+	if _, err := r.Run(testBase(), specs); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.Stats(); st.SimRuns != len(specs) || st.CacheHits != 0 {
+		t.Errorf("NoCache stats = %+v, want %d runs and 0 hits", st, len(specs))
+	}
+}
+
+// TestKeyDistinct asserts that configs differing in any semantic knob never
+// collide: every pair of distinct variants must get a distinct key.
+func TestKeyDistinct(t *testing.T) {
+	base := sim.Config{
+		Scheme:      core.Baseline(),
+		Mix:         workload.HomogeneousMix("lbm", 4),
+		RefsPerCore: 1000,
+		MemPages:    1 << 14,
+		RegionPages: 256,
+		Seed:        1,
+	}
+	type variant struct {
+		name string
+		cfg  sim.Config
+		life float64
+	}
+	mutate := func(name string, f func(*sim.Config)) variant {
+		c := base
+		f(&c)
+		return variant{name: name, cfg: c}
+	}
+	variants := []variant{
+		{name: "base", cfg: base},
+		mutate("scheme", func(c *sim.Config) { c.Scheme = core.LazyC(6) }),
+		mutate("lazy-flag", func(c *sim.Config) { c.Scheme.LazyCorrection = true }),
+		mutate("no-correct", func(c *sim.Config) { c.Scheme.NoCorrectCharge = true }),
+		mutate("no-verify", func(c *sim.Config) { c.Scheme.NoVerifyCharge = true }),
+		mutate("encoding", func(c *sim.Config) { c.Scheme.Encoding = "fnw" }),
+		mutate("ecp", func(c *sim.Config) { c.Scheme.ECPEntries = 6 }),
+		mutate("alloc-tag", func(c *sim.Config) { c.Scheme.Tag = alloc.Tag23 }),
+		mutate("layout", func(c *sim.Config) { c.Scheme = core.WDFree() }),
+		mutate("bench", func(c *sim.Config) { c.Mix = workload.HomogeneousMix("mcf", 4) }),
+		mutate("cores", func(c *sim.Config) { c.Mix = workload.HomogeneousMix("lbm", 8) }),
+		mutate("refs", func(c *sim.Config) { c.RefsPerCore = 2000 }),
+		mutate("mem", func(c *sim.Config) { c.MemPages = 1 << 15 }),
+		mutate("region", func(c *sim.Config) { c.RegionPages = 512 }),
+		mutate("queue", func(c *sim.Config) { c.WriteQueueCap = 16 }),
+		mutate("seed", func(c *sim.Config) { c.Seed = 2 }),
+		mutate("psi", func(c *sim.Config) { c.WearLevelPsi = 100 }),
+		mutate("integrity", func(c *sim.Config) { c.CheckIntegrity = true }),
+		mutate("coretags", func(c *sim.Config) { c.CoreTags = []alloc.Tag{alloc.Tag11, alloc.Tag12, alloc.Tag11, alloc.Tag11} }),
+		{name: "hardlife", cfg: base, life: 0.5},
+		{name: "hardlife-2", cfg: base, life: 1.0},
+	}
+	keys := map[string]string{}
+	for _, v := range variants {
+		k, ok := Key(v.cfg, v.life)
+		if !ok {
+			t.Fatalf("%s: unexpectedly uncacheable", v.name)
+		}
+		if prev, dup := keys[k]; dup {
+			t.Errorf("key collision between %q and %q: %s", prev, v.name, k)
+		}
+		keys[k] = v.name
+	}
+	// Equal configs must share a key.
+	k1, _ := Key(base, 0)
+	k2, _ := Key(base, 0)
+	if k1 != k2 {
+		t.Error("identical configs got different keys")
+	}
+}
+
+func TestKeyUncacheable(t *testing.T) {
+	cfg := sim.Config{Scheme: core.Baseline(), Streams: []trace.Stream{trace.NewSliceStream(nil)}}
+	if _, ok := Key(cfg, 0); ok {
+		t.Error("trace-replay config must not be cacheable")
+	}
+	cfg = sim.Config{Scheme: core.LazyC(6)}
+	cfg.Scheme.HardErrorFn = core.HardErrorModel(0.5)
+	if _, ok := Key(cfg, 0); ok {
+		t.Error("opaque HardErrorFn must not be cacheable")
+	}
+	if _, ok := Key(cfg, 0.5); !ok {
+		t.Error("HardErrorFn declared via lifetime override must be cacheable")
+	}
+}
+
+func TestGridExpand(t *testing.T) {
+	g := Grid{
+		Schemes:    []core.Scheme{core.Baseline(), core.LazyC(6)},
+		Benchmarks: []string{"lbm", "mcf"},
+		QueueCaps:  []int{8, 16},
+		Tag:        "sweep",
+	}
+	specs := g.Expand()
+	if len(specs) != 8 {
+		t.Fatalf("expanded %d specs, want 8", len(specs))
+	}
+	// Benchmark-major order, then scheme, then queue cap.
+	want := Spec{Scheme: core.Baseline(), Bench: "lbm", QueueCap: 16, Tag: "sweep"}
+	if got := specs[1]; got.Bench != want.Bench || got.QueueCap != want.QueueCap ||
+		got.Scheme.Name != want.Scheme.Name || got.Tag != "sweep" {
+		t.Errorf("specs[1] = %+v, want %+v", got, want)
+	}
+	if specs[4].Bench != "mcf" {
+		t.Errorf("specs[4].Bench = %q, want mcf", specs[4].Bench)
+	}
+}
+
+func TestObserverEvents(t *testing.T) {
+	var mu sync.Mutex
+	events := map[int]PointEvent{}
+	r := &Runner{
+		Workers: 4,
+		Observer: ObserverFunc(func(ev PointEvent) {
+			// The runner serializes observer calls; the mutex only guards
+			// against the test goroutine reading early.
+			mu.Lock()
+			events[ev.Index] = ev
+			mu.Unlock()
+		}),
+	}
+	specs := testSpecs()
+	if _, err := r.Run(testBase(), specs); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) != len(specs) {
+		t.Fatalf("observed %d events, want %d", len(events), len(specs))
+	}
+	cached := 0
+	for i, ev := range events {
+		if ev.Total != len(specs) {
+			t.Errorf("event %d Total = %d", i, ev.Total)
+		}
+		if ev.Err != nil {
+			t.Errorf("event %d unexpected error: %v", i, ev.Err)
+		}
+		if ev.Wall < 0 || ev.Wall > time.Minute {
+			t.Errorf("event %d implausible wall time %v", i, ev.Wall)
+		}
+		if ev.Cached {
+			cached++
+		}
+	}
+	if cached != 1 {
+		t.Errorf("observed %d cached points, want 1", cached)
+	}
+}
+
+func TestRunErrorIsDeterministic(t *testing.T) {
+	bad := Spec{Scheme: core.Scheme{}, Bench: "lbm"} // no name/layout: invalid
+	specs := []Spec{
+		{Scheme: core.Baseline(), Bench: "lbm"},
+		bad,
+		{Scheme: core.Baseline(), Bench: "mcf"},
+	}
+	r := &Runner{Workers: 4}
+	_, err := r.Run(testBase(), specs)
+	if err == nil {
+		t.Fatal("invalid spec must fail the run")
+	}
+	want := fmt.Sprintf("%v", err)
+	for i := 0; i < 3; i++ {
+		_, err2 := (&Runner{Workers: 4}).Run(testBase(), specs)
+		if err2 == nil || fmt.Sprintf("%v", err2) != want {
+			t.Fatalf("error not deterministic: %v vs %v", err2, err)
+		}
+	}
+}

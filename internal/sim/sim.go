@@ -189,9 +189,9 @@ func (h coreHeap) Len() int { return len(h) }
 func (h coreHeap) Less(i, j int) bool {
 	return h[i].time < h[j].time || (h[i].time == h[j].time && h[i].id < h[j].id)
 }
-func (h coreHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *coreHeap) Push(x interface{}) { *h = append(*h, x.(*corePending)) }
-func (h *coreHeap) Pop() interface{} {
+func (h coreHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *coreHeap) Push(x any)   { *h = append(*h, x.(*corePending)) }
+func (h *coreHeap) Pop() any {
 	old := *h
 	n := len(old)
 	x := old[n-1]

@@ -40,6 +40,7 @@ import (
 	"sdpcm/internal/core"
 	"sdpcm/internal/experiments"
 	"sdpcm/internal/geometry"
+	"sdpcm/internal/runner"
 	"sdpcm/internal/sim"
 	"sdpcm/internal/stats"
 	"sdpcm/internal/thermal"
@@ -216,6 +217,58 @@ type ExperimentOptions = experiments.Options
 // ResultTable is a named grid of experiment results; its String method
 // renders a fixed-width table mirroring the paper's figure.
 type ResultTable = stats.Table
+
+// Sweep executor re-exports (the declarative experiment runner): declare a
+// grid of simulation points, execute them on a bounded worker pool with
+// memoization, observe per-point progress. Results are bit-identical to a
+// sequential run regardless of worker count.
+
+// SweepSpec names one simulation point of a declarative sweep: scheme,
+// benchmark, write-queue capacity, a free-form tag and per-point overrides.
+type SweepSpec = runner.Spec
+
+// SweepGrid declares a sweep as the cross product of its axes; Expand lists
+// the points benchmark-major.
+type SweepGrid = runner.Grid
+
+// SweepBase holds the sweep-wide simulation parameters shared by every
+// point (trace length, cores, memory sizing, seed).
+type SweepBase = runner.Base
+
+// SweepOverrides carries declarative per-point knobs (hard-error lifetime,
+// wear-leveling period) that the result cache can key on.
+type SweepOverrides = runner.Overrides
+
+// SweepRunner executes sweep points in parallel, memoizing results by
+// resolved configuration. The zero value is ready to use; share one runner
+// across several figure calls (via ExperimentOptions.Exec) to deduplicate
+// points between figures.
+type SweepRunner = runner.Runner
+
+// SweepStats is a snapshot of a runner's point/simulation/cache counters.
+type SweepStats = runner.Stats
+
+// SweepObserver receives one event per completed sweep point.
+type SweepObserver = runner.Observer
+
+// SweepObserverFunc adapts a function to the SweepObserver interface.
+type SweepObserverFunc = runner.ObserverFunc
+
+// SweepEvent describes one completed sweep point: its spec, wall time,
+// cache status and error.
+type SweepEvent = runner.PointEvent
+
+// SweepProgress returns an observer streaming one line per completed point
+// to w (the sdpcm-bench -progress view).
+func SweepProgress(w io.Writer) SweepObserver { return runner.Progress(w) }
+
+// SweepMulti fans each event out to every observer in order.
+func SweepMulti(obs ...SweepObserver) SweepObserver { return runner.Multi(obs...) }
+
+// NewSweepRunner builds a sweep executor from experiment options; assign it
+// to ExperimentOptions.Exec to share its memo cache across figures (the
+// sdpcm-bench -exp all path).
+func NewSweepRunner(o ExperimentOptions) *SweepRunner { return experiments.NewRunner(o) }
 
 // Experiment regenerators, one per published table/figure.
 var (
