@@ -1,0 +1,40 @@
+# Developer entry points. CI (.github/workflows/ci.yml) runs the same
+# commands; keep the two in sync.
+
+GO ?= go
+
+.PHONY: build test race bench golden check-golden bench-record lint ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark — a smoke test that the bench harness
+# still runs, not a measurement.
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Refresh the pinned golden tables after an intentional simulator change.
+golden:
+	./scripts/golden.sh --update
+
+# Regenerate the golden tables and fail on any byte difference (the CI job).
+check-golden:
+	./scripts/golden.sh --check
+
+# Emit one point of the performance trajectory (BENCH_ci.json).
+bench-record:
+	$(GO) run ./cmd/sdpcm-bench -exp fig11 -refs 2000 -cores 4 \
+		-benchmarks gemsFDTD,lbm,mcf -mem-mb 128 -region-pages 256 \
+		-metrics json -bench-json BENCH_ci.json >/dev/null
+
+lint:
+	$(GO) vet ./...
+	test -z "$$(gofmt -l .)"
+
+ci: build lint race check-golden bench

@@ -1,6 +1,7 @@
 package sdpcm_test
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -143,5 +144,60 @@ func TestPublicSweepRunner(t *testing.T) {
 	}
 	if t12.String() != s12.String() || t13.String() != s13.String() {
 		t.Error("parallel cached tables differ from sequential uncached tables")
+	}
+}
+
+// TestPublicMetricsSurviveMemoCache runs the same figure twice through one
+// shared executor with metrics collection on: the rerun is served entirely
+// from the memo cache, yet every cached point still carries the identical
+// metrics snapshot it was first simulated with.
+func TestPublicMetricsSurviveMemoCache(t *testing.T) {
+	o := sdpcm.ExperimentOptions{
+		RefsPerCore: 800, Cores: 2, MemPages: 1 << 15, RegionPages: 512,
+		Benchmarks: []string{"lbm"}, Seed: 1,
+		CollectMetrics: true,
+	}
+	key := func(ev sdpcm.SweepEvent) string {
+		return fmt.Sprintf("%s/%s/ecp%d", ev.Spec.Scheme.Name, ev.Spec.Bench, ev.Spec.Scheme.ECPEntries)
+	}
+	first := map[string]*sdpcm.MetricsSnapshot{}
+	collect := func(into map[string]*sdpcm.MetricsSnapshot, wantCached bool) sdpcm.SweepObserver {
+		return sdpcm.SweepObserverFunc(func(ev sdpcm.SweepEvent) {
+			if ev.Err != nil {
+				t.Errorf("point %s failed: %v", key(ev), ev.Err)
+				return
+			}
+			if ev.Cached != wantCached {
+				t.Errorf("point %s cached=%v, want %v", key(ev), ev.Cached, wantCached)
+			}
+			if ev.Result == nil || ev.Result.Metrics == nil {
+				t.Errorf("point %s missing metrics snapshot (cached=%v)", key(ev), ev.Cached)
+				return
+			}
+			into[key(ev)] = ev.Result.Metrics
+		})
+	}
+	o.Observer = collect(first, false)
+	o.Exec = sdpcm.NewSweepRunner(o)
+	if _, err := sdpcm.Fig12(o); err != nil {
+		t.Fatal(err)
+	}
+	if len(first) == 0 {
+		t.Fatal("no points observed")
+	}
+	second := map[string]*sdpcm.MetricsSnapshot{}
+	// A set Exec wins over Options.Observer, so swap the observer on the
+	// shared executor itself for the cached rerun.
+	o.Exec.Observer = collect(second, true)
+	if _, err := sdpcm.Fig12(o); err != nil {
+		t.Fatal(err)
+	}
+	if len(second) != len(first) {
+		t.Fatalf("rerun observed %d points, want %d", len(second), len(first))
+	}
+	for key, snap := range first {
+		if !snap.Equal(second[key]) {
+			t.Errorf("cached snapshot for %s differs from the original", key)
+		}
 	}
 }

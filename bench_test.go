@@ -305,3 +305,39 @@ func BenchmarkAblationWearLeveling(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkMetricsOverhead quantifies the observability layer's cost on the
+// simulator throughput path. The off case is the seed hot path plus the
+// nil-registry branch at every instrumentation site (the <2% budget); the
+// on/trace cases price full collection and event tracing.
+func BenchmarkMetricsOverhead(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		collect bool
+		trace   int
+	}{
+		{"off", false, 0},
+		{"on", true, 0},
+		{"trace-4096", true, 4096},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := sdpcm.SimConfig{
+				Scheme:         sdpcm.AllThree(6, sdpcm.Tag23),
+				Mix:            sdpcm.HomogeneousMix("mcf", 8),
+				RefsPerCore:    5000,
+				MemPages:       1 << 16,
+				RegionPages:    1024,
+				Seed:           1,
+				CollectMetrics: mode.collect,
+				TraceEvents:    mode.trace,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sdpcm.Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(8*5000*b.N)/b.Elapsed().Seconds(), "refs/s")
+		})
+	}
+}

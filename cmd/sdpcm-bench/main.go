@@ -18,6 +18,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -68,6 +69,21 @@ func (t *tally) PointDone(ev sdpcm.SweepEvent) {
 	}
 }
 
+// aggregator folds every completed point's metrics snapshot into one
+// cross-sweep aggregate. Merging is commutative (counters and histogram
+// buckets sum, gauges keep the max), so the aggregate is deterministic
+// regardless of worker count or completion order.
+type aggregator struct {
+	merged *sdpcm.MetricsSnapshot
+}
+
+func (a *aggregator) PointDone(ev sdpcm.SweepEvent) {
+	if ev.Err != nil || ev.Result == nil || ev.Result.Metrics == nil {
+		return
+	}
+	a.merged = a.merged.Merge(ev.Result.Metrics)
+}
+
 func (t *tally) reset() tally {
 	out := *t
 	*t = tally{}
@@ -86,27 +102,49 @@ func main() {
 		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = all cores, 1 = sequential; results are identical)")
 		progress = flag.Bool("progress", false, "stream one line per completed simulation point to stderr")
 		noCache  = flag.Bool("no-cache", false, "disable result memoization (re-simulate points shared between figures)")
+		metricf  = flag.String("metrics", "", "emit the aggregated metrics snapshot after the tables: 'json' or 'table'")
+		trEv     = flag.Int("trace-events", 0, "keep the last N controller events per simulation point")
+		benchOut = flag.String("bench-json", "", "write a machine-readable run record (wall time, sims, cache hits, metrics) to this file")
 	)
 	flag.Parse()
 
+	if *metricf != "" && *metricf != "json" && *metricf != "table" {
+		fmt.Fprintf(os.Stderr, "sdpcm-bench: unknown -metrics format %q (usage: -metrics json|table)\n", *metricf)
+		os.Exit(2)
+	}
 	opts := sdpcm.ExperimentOptions{
-		RefsPerCore: *refs,
-		Cores:       *cores,
-		Seed:        *seed,
-		MemPages:    *memMB * 256, // 4KB pages
-		RegionPages: *region,
-		Parallel:    *parallel,
-		NoCache:     *noCache,
+		RefsPerCore:    *refs,
+		Cores:          *cores,
+		Seed:           *seed,
+		MemPages:       *memMB * 256, // 4KB pages
+		RegionPages:    *region,
+		Parallel:       *parallel,
+		NoCache:        *noCache,
+		CollectMetrics: *metricf != "" || *benchOut != "",
+		TraceEvents:    *trEv,
 	}
 	if *bench != "" {
-		opts.Benchmarks = strings.Split(*bench, ",")
+		known := map[string]bool{}
+		for _, b := range sdpcm.Benchmarks() {
+			known[b] = true
+		}
+		for _, b := range strings.Split(*bench, ",") {
+			b = strings.TrimSpace(b)
+			if !known[b] {
+				fmt.Fprintf(os.Stderr, "sdpcm-bench: unknown benchmark %q (usage: -benchmarks %s)\n",
+					b, strings.Join(sdpcm.Benchmarks(), ","))
+				os.Exit(2)
+			}
+			opts.Benchmarks = append(opts.Benchmarks, b)
+		}
 	}
 	counts := &tally{}
+	agg := &aggregator{}
+	observers := []sdpcm.SweepObserver{counts, agg}
 	if *progress {
-		opts.Observer = sdpcm.SweepMulti(counts, sdpcm.SweepProgress(os.Stderr))
-	} else {
-		opts.Observer = counts
+		observers = append(observers, sdpcm.SweepProgress(os.Stderr))
 	}
+	opts.Observer = sdpcm.SweepMulti(observers...)
 	// One executor for the whole invocation: its memo cache spans
 	// experiments, so points shared between figures simulate once.
 	opts.Exec = sdpcm.NewSweepRunner(opts)
@@ -118,26 +156,27 @@ func main() {
 			want[strings.TrimSpace(e)] = true
 		}
 	}
-	known := map[string]bool{}
+	knownExp := map[string]bool{}
+	names := make([]string, 0, len(experiments))
 	for _, e := range experiments {
-		known[e.name] = true
+		knownExp[e.name] = true
+		names = append(names, e.name)
 	}
 	for name := range want {
-		if !known[name] {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; available:", name)
-			for _, e := range experiments {
-				fmt.Fprintf(os.Stderr, " %s", e.name)
-			}
-			fmt.Fprintln(os.Stderr)
+		if !knownExp[name] {
+			fmt.Fprintf(os.Stderr, "sdpcm-bench: unknown experiment %q (usage: -exp all or -exp %s)\n",
+				name, strings.Join(names, ","))
 			os.Exit(2)
 		}
 	}
 
 	start := time.Now()
+	ranExps := make([]string, 0, len(experiments))
 	for _, e := range experiments {
 		if !runAll && !want[e.name] {
 			continue
 		}
+		ranExps = append(ranExps, e.name)
 		expStart := time.Now()
 		tb, err := e.run(opts)
 		if err != nil {
@@ -162,4 +201,55 @@ func main() {
 			st.Points, st.SimRuns, st.CacheHits,
 			time.Since(start).Round(time.Millisecond), *parallel)
 	}
+	if *metricf != "" {
+		var err error
+		if *metricf == "json" {
+			err = agg.merged.WriteJSON(os.Stdout)
+		} else {
+			err = agg.merged.WriteTable(os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *benchOut != "" {
+		if err := writeBenchRecord(*benchOut, ranExps, st, time.Since(start), agg.merged); err != nil {
+			fmt.Fprintf(os.Stderr, "sdpcm-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// benchRecord is the machine-readable run summary emitted by -bench-json —
+// one point on the repository's performance trajectory (the CI bench-smoke
+// job archives these as build artifacts).
+type benchRecord struct {
+	Experiments []string               `json:"experiments"`
+	Points      int                    `json:"points"`
+	SimRuns     int                    `json:"sim_runs"`
+	CacheHits   int                    `json:"cache_hits"`
+	WallSeconds float64                `json:"wall_seconds"`
+	Metrics     *sdpcm.MetricsSnapshot `json:"metrics,omitempty"`
+}
+
+func writeBenchRecord(path string, exps []string, st sdpcm.SweepStats, wall time.Duration, m *sdpcm.MetricsSnapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(benchRecord{
+		Experiments: exps,
+		Points:      st.Points,
+		SimRuns:     st.SimRuns,
+		CacheHits:   st.CacheHits,
+		WallSeconds: wall.Seconds(),
+		Metrics:     m,
+	})
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

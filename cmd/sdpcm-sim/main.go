@@ -51,33 +51,50 @@ func schemeByName(name string, ecp int) (sdpcm.Scheme, error) {
 	}
 }
 
+// schemeNames is the -scheme vocabulary, for usage hints.
+const schemeNames = "din|wdfree|baseline|lazyc|preread|lazyc+preread|1:2|2:3|3:4|lazyc+2:3|all|wc|wc+lazyc"
+
 func main() {
 	var (
-		scheme = flag.String("scheme", "lazyc+preread", "scheme: din|wdfree|baseline|lazyc|preread|lazyc+preread|1:2|2:3|3:4|lazyc+2:3|all|wc|wc+lazyc")
-		bench  = flag.String("bench", "lbm", "Table 3 benchmark name")
-		refs   = flag.Int("refs", 20000, "main-memory references per core")
-		cores  = flag.Int("cores", 8, "cores")
-		ecp    = flag.Int("ecp", sdpcm.DefaultECPEntries, "ECP entries per line for LazyC schemes")
-		queue  = flag.Int("queue", 32, "write queue entries per bank")
-		seed   = flag.Uint64("seed", 42, "random seed")
-		noBase = flag.Bool("no-baseline", false, "skip the baseline comparison run")
-		traces = flag.String("trace", "", "comma-separated trace files to replay (one per core) instead of -bench")
+		scheme  = flag.String("scheme", "lazyc+preread", "scheme: "+schemeNames)
+		bench   = flag.String("bench", "lbm", "Table 3 benchmark name")
+		refs    = flag.Int("refs", 20000, "main-memory references per core")
+		cores   = flag.Int("cores", 8, "cores")
+		ecp     = flag.Int("ecp", sdpcm.DefaultECPEntries, "ECP entries per line for LazyC schemes")
+		queue   = flag.Int("queue", 32, "write queue entries per bank")
+		seed    = flag.Uint64("seed", 42, "random seed")
+		noBase  = flag.Bool("no-baseline", false, "skip the baseline comparison run")
+		traces  = flag.String("trace", "", "comma-separated trace files to replay (one per core) instead of -bench")
+		metricf = flag.String("metrics", "", "append the run's metrics snapshot: 'json' or 'table'")
+		trEv    = flag.Int("trace-events", 0, "keep the last N controller events in the metrics snapshot")
 	)
 	flag.Parse()
 
 	s, err := schemeByName(*scheme, *ecp)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintf(os.Stderr, "sdpcm-sim: %v (usage: -scheme %s)\n", err, schemeNames)
 		os.Exit(2)
 	}
+	if *metricf != "" && *metricf != "json" && *metricf != "table" {
+		fmt.Fprintf(os.Stderr, "sdpcm-sim: unknown -metrics format %q (usage: -metrics json|table)\n", *metricf)
+		os.Exit(2)
+	}
+	if *traces == "" {
+		if _, err := sdpcm.WorkloadByName(*bench); err != nil {
+			fmt.Fprintf(os.Stderr, "sdpcm-sim: %v (usage: -bench %s)\n", err, strings.Join(sdpcm.Benchmarks(), "|"))
+			os.Exit(2)
+		}
+	}
 	cfg := sdpcm.SimConfig{
-		Scheme:        s,
-		Mix:           sdpcm.HomogeneousMix(*bench, *cores),
-		RefsPerCore:   *refs,
-		WriteQueueCap: *queue,
-		MemPages:      1 << 17,
-		RegionPages:   1024,
-		Seed:          *seed,
+		Scheme:         s,
+		Mix:            sdpcm.HomogeneousMix(*bench, *cores),
+		RefsPerCore:    *refs,
+		WriteQueueCap:  *queue,
+		MemPages:       1 << 17,
+		RegionPages:    1024,
+		Seed:           *seed,
+		CollectMetrics: *metricf != "",
+		TraceEvents:    *trEv,
 	}
 	if *traces != "" {
 		streams, err := sdpcm.LoadTraceStreams(strings.Split(*traces, ",")...)
@@ -126,4 +143,18 @@ func main() {
 	fmt.Printf("lifetime      data chips %.5f, ECP chip %.5f (normalised)\n",
 		res.DataChipLifetime(), res.ECPChipLifetime())
 	fmt.Printf("VM            %d page faults, %d TLB misses\n", res.PageFaults, res.TLBMisses)
+
+	if res.Metrics != nil {
+		fmt.Println()
+		var err error
+		if *metricf == "json" {
+			err = res.Metrics.WriteJSON(os.Stdout)
+		} else {
+			err = res.Metrics.WriteTable(os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 }

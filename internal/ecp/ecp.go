@@ -23,6 +23,7 @@ package ecp
 import (
 	"fmt"
 
+	"sdpcm/internal/metrics"
 	"sdpcm/internal/pcm"
 )
 
@@ -75,6 +76,11 @@ type Table struct {
 	Stats Stats
 
 	lines map[pcm.LineAddr]*lineState
+
+	// Occupancy histograms (nil when uninstrumented): entries in use after
+	// each successful park and at each correction-write flush — the entry
+	// pressure LazyCorrection's X+Y<=N rule lives or dies by.
+	parkOcc, flushOcc *metrics.Histogram
 }
 
 // New creates an ECP-N table. N must be non-negative.
@@ -102,6 +108,17 @@ func (t *Table) state(a pcm.LineAddr) *lineState {
 		t.lines[a] = s
 	}
 	return s
+}
+
+// Instrument attaches occupancy histograms to the table. A nil registry
+// leaves the table uninstrumented (the zero-cost default).
+func (t *Table) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	bounds := []uint64{0, 1, 2, 3, 4, 6, 8, 12, 16}
+	t.parkOcc = reg.Histogram("ecp.occupancy_at_park", bounds)
+	t.flushOcc = reg.Histogram("ecp.occupancy_at_flush", bounds)
 }
 
 // HardErrors returns the number of entries consumed by hard errors on a line.
@@ -181,6 +198,7 @@ func (t *Table) RecordWD(a pcm.LineAddr, cells []int) (ok bool) {
 	}
 	s.wd = append(s.wd, fresh...)
 	t.Stats.WDRecorded += uint64(len(fresh))
+	t.parkOcc.Observe(uint64(s.hard + len(s.wd)))
 	for _, c := range fresh {
 		if containsU16(s.seen, c) {
 			// Pointer bits unchanged from a previous round: only the valid
@@ -210,6 +228,7 @@ func (t *Table) ClearWD(a pcm.LineAddr, byCorrection bool) int {
 	s.wd = s.wd[:0]
 	if byCorrection {
 		t.Stats.ClearedByCorrect += uint64(n)
+		t.flushOcc.Observe(uint64(s.hard + n))
 	} else {
 		t.Stats.ClearedByWrite += uint64(n)
 	}

@@ -1,0 +1,17 @@
+package ecp
+
+import "sdpcm/internal/metrics"
+
+// Publish exports the table counters into reg under the "ecp." prefix.
+// Called once at end of run; a nil registry is a no-op.
+func (s Stats) Publish(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("ecp.wd_recorded").Add(s.WDRecorded)
+	reg.Counter("ecp.wd_duplicates").Add(s.WDDuplicates)
+	reg.Counter("ecp.overflows").Add(s.Overflows)
+	reg.Counter("ecp.cleared_by_write").Add(s.ClearedByWrite)
+	reg.Counter("ecp.cleared_by_correct").Add(s.ClearedByCorrect)
+	reg.Counter("ecp.bit_writes").Add(s.ECPBitWrites)
+}

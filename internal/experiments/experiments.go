@@ -46,6 +46,12 @@ type Options struct {
 	Benchmarks []string
 	// Seed for reproducibility.
 	Seed uint64
+	// CollectMetrics enables the observability layer on every simulation
+	// point: each result carries a deterministic metrics snapshot
+	// (sim.Result.Metrics), visible to Observers via PointEvent.Result.
+	CollectMetrics bool
+	// TraceEvents additionally keeps the last N typed events per point.
+	TraceEvents int
 	// Parallel bounds concurrent simulations (0 = GOMAXPROCS, 1 =
 	// sequential). Results are identical either way.
 	Parallel int
@@ -85,11 +91,13 @@ func (o Options) normalized() Options {
 // base extracts the sweep-wide simulation parameters.
 func (o Options) base() runner.Base {
 	return runner.Base{
-		RefsPerCore: o.RefsPerCore,
-		Cores:       o.Cores,
-		MemPages:    o.MemPages,
-		RegionPages: o.RegionPages,
-		Seed:        o.Seed,
+		RefsPerCore:    o.RefsPerCore,
+		Cores:          o.Cores,
+		MemPages:       o.MemPages,
+		RegionPages:    o.RegionPages,
+		Seed:           o.Seed,
+		CollectMetrics: o.CollectMetrics,
+		TraceEvents:    o.TraceEvents,
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"sdpcm/internal/alloc"
 	"sdpcm/internal/din"
 	"sdpcm/internal/ecp"
+	"sdpcm/internal/metrics"
 	"sdpcm/internal/pcm"
 	"sdpcm/internal/rng"
 	"sdpcm/internal/thermal"
@@ -191,6 +192,14 @@ type Controller struct {
 	banks  []bank
 	nextID uint64
 	Stats  Stats
+
+	// Instrumentation handles (all nil when uninstrumented: every use is a
+	// nil-safe no-op, so the disabled cost is one branch per site).
+	tr           *metrics.Trace
+	readLat      *metrics.Histogram
+	queueRes     *metrics.Histogram
+	queueDepth   *metrics.Histogram
+	cascadeDepth *metrics.Histogram
 }
 
 // New builds a controller. dev supplies the array; region supplies
@@ -224,6 +233,24 @@ func New(cfg Config, dev *pcm.Device, region *alloc.Allocator, rnd *rng.Rand) (*
 		region: region,
 		banks:  make([]bank, pcm.NumBanks),
 	}, nil
+}
+
+// Instrument attaches the controller and its subcomponents (disturbance
+// engine, ECP table) to a metrics registry: distribution histograms record
+// on the hot path and the registry's event trace, when enabled, receives the
+// controller's decision points. A nil registry leaves the controller
+// uninstrumented — the zero-overhead default.
+func (c *Controller) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	c.tr = reg.Trace()
+	c.readLat = reg.Histogram("mc.read_latency", []uint64{400, 800, 1600, 3200, 6400, 12800, 25600, 51200})
+	c.queueRes = reg.Histogram("mc.queue_residency", []uint64{1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20, 1 << 22})
+	c.queueDepth = reg.Histogram("mc.queue_depth_at_enqueue", []uint64{1, 2, 4, 8, 16, 24, 32, 48})
+	c.cascadeDepth = reg.Histogram("mc.cascade_depth", []uint64{0, 1, 2, 3, 4, 6, 8, 12, 16, 32})
+	c.engine.Instrument(reg.Trace())
+	c.ecp.Instrument(reg)
 }
 
 // Device exposes the underlying array (for wear statistics).
@@ -275,7 +302,7 @@ func (c *Controller) catchUp(b *bank, t uint64) {
 	b.prereads = keep
 	for len(b.wq) > 0 && b.freeAt <= t && (b.draining || len(b.wq) > c.cfg.LowWatermark) {
 		c.Stats.BackgroundOps++
-		c.executeNext(b)
+		c.executeNext(b, false)
 		if b.draining && len(b.wq) <= c.cfg.LowWatermark {
 			b.draining = false
 		}
@@ -292,13 +319,22 @@ func (c *Controller) catchUp(b *bank, t uint64) {
 }
 
 // executeNext pops the oldest write entry and runs its full VnC write op,
-// advancing freeAt. Work cannot start before the write arrived.
-func (c *Controller) executeNext(b *bank) {
+// advancing freeAt. Work cannot start before the write arrived. burst marks
+// ops retired inside a full-queue drain (trace attribution only).
+func (c *Controller) executeNext(b *bank, burst bool) {
 	e := b.wq[0]
 	b.wq = b.wq[1:]
 	if b.freeAt < e.enqueuedAt {
 		b.freeAt = e.enqueuedAt
 	}
+	if c.tr != nil {
+		var bf uint64
+		if burst {
+			bf = 1
+		}
+		c.tr.Emit(b.freeAt, metrics.EvQueueDrain, uint64(e.addr), b.freeAt-e.enqueuedAt, bf)
+	}
+	c.queueRes.Observe(b.freeAt - e.enqueuedAt)
 	d := c.executeWrite(b, e)
 	b.freeAt += uint64(d)
 }
@@ -332,10 +368,16 @@ func (c *Controller) cancelPrereads(b *bank, t uint64) {
 			rollback = p.start
 		}
 		if e := b.findEntryByID(p.entryID); e != nil {
+			var victim pcm.LineAddr
 			if p.top {
 				e.prTop = false
+				victim = e.top
 			} else {
 				e.prBelow = false
+				victim = e.below
+			}
+			if c.tr != nil {
+				c.tr.Emit(t, metrics.EvPreReadCanceled, uint64(victim), p.entryID, 0)
 			}
 		}
 	}
@@ -365,6 +407,7 @@ func (c *Controller) Read(now uint64, addr pcm.LineAddr) (uint64, pcm.Line) {
 		c.Stats.ForwardedReads++
 		done := now + uint64(c.cfg.ForwardCycles)
 		c.Stats.ReadLatencySum += uint64(c.cfg.ForwardCycles)
+		c.readLat.Observe(uint64(c.cfg.ForwardCycles))
 		return done, e.data
 	}
 	c.catchUp(b, now)
@@ -372,6 +415,9 @@ func (c *Controller) Read(now uint64, addr pcm.LineAddr) (uint64, pcm.Line) {
 		// The read waits only for the in-flight op (write cancellation /
 		// pausing); remaining drain work resumes after the read.
 		c.Stats.ReadPreemptions++
+		if c.tr != nil {
+			c.tr.Emit(now, metrics.EvWriteCancel, uint64(addr), uint64(len(b.wq)), 0)
+		}
 	}
 	c.cancelPrereads(b, now)
 	start := maxU64(now, b.freeAt)
@@ -382,6 +428,7 @@ func (c *Controller) Read(now uint64, addr pcm.LineAddr) (uint64, pcm.Line) {
 	c.Stats.ReadCycles += uint64(c.cfg.Timing.ReadCycles)
 	c.Stats.ReadLatencySum += done - now
 	c.Stats.ReadWaitSum += start - now
+	c.readLat.Observe(done - now)
 	return done, data
 }
 
@@ -401,6 +448,9 @@ func (c *Controller) Write(now uint64, addr pcm.LineAddr, data pcm.Line) {
 	}
 	if len(b.wq) >= c.cfg.WriteQueueCap {
 		c.Stats.Drains++
+		if c.tr != nil {
+			c.tr.Emit(now, metrics.EvQueueStall, uint64(addr), uint64(len(b.wq)), 0)
+		}
 		if b.freeAt < now {
 			b.freeAt = now
 		}
@@ -410,20 +460,24 @@ func (c *Controller) Write(now uint64, addr pcm.LineAddr, data pcm.Line) {
 			b.draining = true
 			for len(b.wq) >= c.cfg.WriteQueueCap {
 				c.Stats.BurstOps++
-				c.executeNext(b)
+				c.executeNext(b, true)
 			}
 		} else {
 			// Bursty drain (§5.1): flush to the watermark, blocking this
 			// bank's reads for the whole burst.
 			for len(b.wq) > c.cfg.LowWatermark {
 				c.Stats.BurstOps++
-				c.executeNext(b)
+				c.executeNext(b, true)
 			}
 		}
 	}
 	e := c.newEntry(addr, data)
 	e.enqueuedAt = now
 	b.wq = append(b.wq, e)
+	c.queueDepth.Observe(uint64(len(b.wq)))
+	if c.tr != nil {
+		c.tr.Emit(now, metrics.EvQueueEnqueue, uint64(addr), uint64(len(b.wq)), 0)
+	}
 	if c.cfg.PreRead {
 		c.issuePrereads(b, now)
 	}
@@ -487,6 +541,9 @@ func (c *Controller) issueOnePreread(b *bank, e *writeEntry, top bool, now uint6
 			e.prBelow, e.bufBelow = true, other.data
 		}
 		c.Stats.PreReadsForwarded++
+		if c.tr != nil {
+			c.tr.Emit(now, metrics.EvPreReadForwarded, uint64(neighbour), e.id, 0)
+		}
 		return idle
 	}
 	if !idle {
@@ -503,6 +560,9 @@ func (c *Controller) issueOnePreread(b *bank, e *writeEntry, top bool, now uint6
 	b.freeAt = end
 	b.prereads = append(b.prereads, prOp{start: start, end: end, entryID: e.id, top: top})
 	c.Stats.PreReadsIssued++
+	if c.tr != nil {
+		c.tr.Emit(start, metrics.EvPreReadIssued, uint64(neighbour), e.id, 0)
+	}
 	return true
 }
 
@@ -517,7 +577,7 @@ func (c *Controller) Flush(now uint64) uint64 {
 			b.freeAt = now
 		}
 		for len(b.wq) > 0 {
-			c.executeNext(b)
+			c.executeNext(b, false)
 		}
 		b.draining = false
 		if b.freeAt > end {

@@ -1,0 +1,36 @@
+package mc
+
+import "sdpcm/internal/metrics"
+
+// Publish exports the controller counters into reg under the "mc." prefix.
+// Publishing happens once at end of run, off the hot path; a nil registry is
+// a no-op.
+func (s Stats) Publish(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("mc.demand_reads").Add(s.DemandReads)
+	reg.Counter("mc.forwarded_reads").Add(s.ForwardedReads)
+	reg.Counter("mc.write_requests").Add(s.WriteRequests)
+	reg.Counter("mc.coalesced").Add(s.Coalesced)
+	reg.Counter("mc.write_ops").Add(s.WriteOps)
+	reg.Counter("mc.drains").Add(s.Drains)
+	reg.Counter("mc.preread_issued").Add(s.PreReadsIssued)
+	reg.Counter("mc.preread_forwarded").Add(s.PreReadsForwarded)
+	reg.Counter("mc.preread_canceled").Add(s.PreReadsCanceled)
+	reg.Counter("mc.preread_hits").Add(s.PreReadHits)
+	reg.Counter("mc.verify_reads").Add(s.VerifyReads)
+	reg.Counter("mc.cascade_reads").Add(s.CascadeReads)
+	reg.Counter("mc.correction_writes").Add(s.CorrectionWrites)
+	reg.Counter("mc.lazy_records").Add(s.LazyRecords)
+	reg.Counter("mc.cascade_truncated").Add(s.CascadeTruncated)
+	reg.Counter("mc.read_preemptions").Add(s.ReadPreemptions)
+	reg.Counter("mc.burst_ops").Add(s.BurstOps)
+	reg.Counter("mc.background_ops").Add(s.BackgroundOps)
+	reg.Counter("mc.program_cycles").Add(s.ProgramCycles)
+	reg.Counter("mc.verify_cycles").Add(s.VerifyCycles)
+	reg.Counter("mc.correct_cycles").Add(s.CorrectCycles)
+	reg.Counter("mc.read_cycles").Add(s.ReadCycles)
+	reg.Counter("mc.read_latency_sum").Add(s.ReadLatencySum)
+	reg.Counter("mc.read_wait_sum").Add(s.ReadWaitSum)
+}

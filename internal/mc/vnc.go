@@ -1,6 +1,7 @@
 package mc
 
 import (
+	"sdpcm/internal/metrics"
 	"sdpcm/internal/pcm"
 )
 
@@ -19,6 +20,9 @@ import (
 //     verified — until a verification finds no new errors.
 func (c *Controller) executeWrite(b *bank, e *writeEntry) int {
 	c.Stats.WriteOps++
+	// The engine stamps trace events with the op's start time (writes run
+	// asynchronously to core time, so "now" is when the bank begins the op).
+	c.engine.Now = b.freeAt
 	cycles := 0
 
 	// --- 1. Pre-write reads (charged as verification). ---
@@ -36,6 +40,9 @@ func (c *Controller) executeWrite(b *bank, e *writeEntry) int {
 		}
 		if missing == 0 {
 			c.Stats.PreReadHits++
+			if c.tr != nil {
+				c.tr.Emit(b.freeAt, metrics.EvPreReadHit, uint64(e.addr), 0, 0)
+			}
 		}
 		c.Stats.VerifyReads += uint64(missing)
 		if c.cfg.ChargeVerify {
@@ -95,11 +102,17 @@ func (c *Controller) verifyNeighbour(addr pcm.LineAddr, flips pcm.Mask, depth in
 	if len(newBits) == 0 {
 		return cycles
 	}
+	if c.tr != nil {
+		c.tr.Emit(c.engine.Now, metrics.EvWDDetected, uint64(addr), uint64(len(newBits)), uint64(depth))
+	}
 	// LazyCorrection: park the errors if the line's free ECP entries cover
 	// them (X + Y <= N). Recording happens in the WD-free low density ECP
 	// chip and costs no data-bank time.
 	if c.cfg.LazyCorrection && c.ecp.RecordWD(addr, newBits) {
 		c.Stats.LazyRecords++
+		if c.tr != nil {
+			c.tr.Emit(c.engine.Now, metrics.EvWDParked, uint64(addr), uint64(len(newBits)), uint64(c.ecp.Recorded(addr)))
+		}
 		return cycles
 	}
 	// Correction write: RESET every pending disturbed cell (newly found and
@@ -121,6 +134,10 @@ func (c *Controller) correctLine(addr pcm.LineAddr, newFlips pcm.Mask, depth int
 	res := c.dev.Write(addr, corrected, pcm.CorrectionWrite)
 	c.ecp.ClearWD(addr, true)
 	c.Stats.CorrectionWrites++
+	c.cascadeDepth.Observe(uint64(depth))
+	if c.tr != nil {
+		c.tr.Emit(c.engine.Now, metrics.EvWDFlushed, uint64(addr), uint64(pending.PopCount()), uint64(depth))
+	}
 	if c.cfg.ChargeCorrect {
 		cycles += res.Cycles
 		c.Stats.CorrectCycles += uint64(res.Cycles)
@@ -141,6 +158,9 @@ func (c *Controller) correctLine(addr pcm.LineAddr, newFlips pcm.Mask, depth int
 	}
 	above, below, okA, okB := pcm.AdjacentLines(addr, c.dev.RowsPerBank)
 	vt, vb := c.verifySides(addr.Page())
+	if (okA && vt || okB && vb) && c.tr != nil {
+		c.tr.Emit(c.engine.Now, metrics.EvCascadeStep, uint64(addr), uint64(depth+1), 0)
+	}
 	if okA && vt {
 		cycles += c.verifyNeighbour(above, out.Above, depth+1)
 	}

@@ -1,0 +1,227 @@
+// Package metrics is the simulator's observability layer: a zero-dependency
+// registry of counters, gauges and fixed-bucket histograms, plus an optional
+// bounded ring-buffer event trace (trace.go).
+//
+// Design constraints, in order:
+//
+//   - Allocation-free on the hot path. Instruments are registered once at
+//     construction time; Add/Set/Observe mutate plain uint64 fields and
+//     never allocate. One simulation run is single-goroutine deterministic,
+//     so no locks or atomics are needed (a Registry must not be shared
+//     across concurrently executing runs).
+//   - Free when disabled. Every instrument method is nil-safe: a nil
+//     *Registry hands out nil instrument handles, and calling a method on a
+//     nil handle is a no-op. Uninstrumented components therefore pay one
+//     nil-check branch per call site and nothing else — the overhead budget
+//     is <2% on the simulator's hot paths (BenchmarkMetricsOverhead).
+//   - Deterministic snapshots. Snapshot orders every instrument by name, so
+//     two runs with the same config and seed export byte-identical JSON —
+//     snapshots double as regression fixtures.
+package metrics
+
+import "sort"
+
+// Counter is a monotonically increasing uint64 instrument.
+type Counter struct {
+	v uint64
+}
+
+// Add increases the counter; no-op on a nil handle.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v += n
+	}
+}
+
+// Inc increases the counter by one; no-op on a nil handle.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Value returns the current count (0 for a nil handle).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a last-value-wins uint64 instrument.
+type Gauge struct {
+	v uint64
+}
+
+// Set records the gauge value; no-op on a nil handle.
+func (g *Gauge) Set(v uint64) {
+	if g != nil {
+		g.v = v
+	}
+}
+
+// Value returns the current value (0 for a nil handle).
+func (g *Gauge) Value() uint64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Histogram is a fixed-bucket uint64 distribution. A histogram with bounds
+// [b0, b1, ... bn] has n+2 buckets: v <= b0, b0 < v <= b1, ..., v > bn.
+type Histogram struct {
+	bounds []uint64
+	counts []uint64
+	sum    uint64
+	n      uint64
+}
+
+// Observe records one sample; no-op on a nil handle.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.n++
+	h.sum += v
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.bounds)]++
+}
+
+// Count returns the number of samples observed (0 for a nil handle).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// Sum returns the sum of observed samples (0 for a nil handle).
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Registry owns the instruments of one simulation run. The zero value is not
+// usable; construct with New. A nil *Registry is the disabled form: every
+// lookup returns a nil handle and Snapshot returns nil.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	trace    *Trace
+}
+
+// New creates an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns nil
+// (the no-op handle) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil on a
+// nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// upper bounds (ascending) on first use; later calls ignore bounds. Returns
+// nil on a nil registry.
+func (r *Registry) Histogram(name string, bounds []uint64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h := r.hists[name]
+	if h == nil {
+		bs := make([]uint64, len(bounds))
+		copy(bs, bounds)
+		h = &Histogram{bounds: bs, counts: make([]uint64, len(bs)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// EnableTrace attaches a bounded event ring buffer keeping the last cap
+// events. Returns the trace (nil on a nil registry or cap <= 0).
+func (r *Registry) EnableTrace(cap int) *Trace {
+	if r == nil || cap <= 0 {
+		return nil
+	}
+	if r.trace == nil {
+		r.trace = newTrace(cap)
+	}
+	return r.trace
+}
+
+// Trace returns the attached event trace, or nil when tracing is disabled.
+func (r *Registry) Trace() *Trace {
+	if r == nil {
+		return nil
+	}
+	return r.trace
+}
+
+// Snapshot exports the registry's current state with stable (name-sorted)
+// ordering. Returns nil on a nil registry.
+func (r *Registry) Snapshot() *Snapshot {
+	if r == nil {
+		return nil
+	}
+	s := &Snapshot{}
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, CounterPoint{Name: name, Value: c.v})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugePoint{Name: name, Value: g.v})
+	}
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	for name, h := range r.hists {
+		hp := HistogramPoint{
+			Name:   name,
+			Bounds: append([]uint64(nil), h.bounds...),
+			Counts: append([]uint64(nil), h.counts...),
+			Sum:    h.sum,
+			Count:  h.n,
+		}
+		s.Histograms = append(s.Histograms, hp)
+	}
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	if r.trace != nil {
+		s.Events = r.trace.Events()
+		s.EventsDropped = r.trace.Dropped()
+	}
+	return s
+}

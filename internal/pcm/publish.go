@@ -1,0 +1,18 @@
+package pcm
+
+import "sdpcm/internal/metrics"
+
+// Publish exports the device counters into reg under the "pcm." prefix.
+// Called once at end of run; a nil registry is a no-op.
+func (s Stats) Publish(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("pcm.reads").Add(s.Reads)
+	reg.Counter("pcm.writes").Add(s.Writes)
+	reg.Counter("pcm.reset_pulses").Add(s.ResetPulses)
+	reg.Counter("pcm.set_pulses").Add(s.SetPulses)
+	reg.Counter("pcm.correction_writes").Add(s.CorrectionWrites)
+	reg.Counter("pcm.correction_reset_pulses").Add(s.CorrectionResetPulses)
+	reg.Counter("pcm.disturbed_bits").Add(s.DisturbedBits)
+}

@@ -38,6 +38,7 @@ func Key(cfg sim.Config, hardErrorLifetime float64) (string, bool) {
 	fmt.Fprintf(&b, "|refs=%d|mem=%d|region=%d|wq=%d|seed=%d|psi=%d|mutate=%g|integrity=%t|",
 		cfg.RefsPerCore, cfg.MemPages, cfg.RegionPages, cfg.WriteQueueCap,
 		cfg.Seed, cfg.WearLevelPsi, cfg.MutateChunkProb, cfg.CheckIntegrity)
+	fmt.Fprintf(&b, "metrics=%t|trace=%d|", cfg.CollectMetrics, cfg.TraceEvents)
 	fmt.Fprintf(&b, "coretags=%d", len(cfg.CoreTags))
 	for _, t := range cfg.CoreTags {
 		fmt.Fprintf(&b, ",%d:%d", t.N, t.M)

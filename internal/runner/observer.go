@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"time"
+
+	"sdpcm/internal/sim"
 )
 
 // PointEvent describes one completed sweep point.
@@ -16,6 +18,10 @@ type PointEvent struct {
 	Wall   time.Duration
 	Cached bool
 	Err    error
+	// Result is the point's simulation outcome (nil on error). Cached
+	// points carry the memoized result, so per-point metrics snapshots flow
+	// through the cache to every observer.
+	Result *sim.Result
 }
 
 // Observer receives per-point completion events from a Runner. The Runner

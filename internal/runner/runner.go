@@ -36,6 +36,12 @@ type Base struct {
 	MemPages    int
 	RegionPages int
 	Seed        uint64
+	// CollectMetrics / TraceEvents enable the observability layer on every
+	// point: each sim.Result carries a Metrics snapshot (and event tail).
+	// Both are part of the cache key, so metric-collecting and plain sweeps
+	// memoize separately.
+	CollectMetrics bool
+	TraceEvents    int
 }
 
 func (b Base) normalized() Base {
@@ -76,14 +82,16 @@ func (s Spec) Resolve(b Base) sim.Config {
 		sc.HardErrorFn = core.HardErrorModel(s.Overrides.HardErrorLifetime)
 	}
 	return sim.Config{
-		Scheme:        sc,
-		Mix:           workload.HomogeneousMix(s.Bench, b.Cores),
-		RefsPerCore:   b.RefsPerCore,
-		MemPages:      b.MemPages,
-		RegionPages:   b.RegionPages,
-		WriteQueueCap: s.QueueCap,
-		WearLevelPsi:  s.Overrides.WearLevelPsi,
-		Seed:          b.Seed,
+		Scheme:         sc,
+		Mix:            workload.HomogeneousMix(s.Bench, b.Cores),
+		RefsPerCore:    b.RefsPerCore,
+		MemPages:       b.MemPages,
+		RegionPages:    b.RegionPages,
+		WriteQueueCap:  s.QueueCap,
+		WearLevelPsi:   s.Overrides.WearLevelPsi,
+		Seed:           b.Seed,
+		CollectMetrics: b.CollectMetrics,
+		TraceEvents:    b.TraceEvents,
 	}
 }
 
@@ -245,14 +253,19 @@ func (r *Runner) Run(base Base, specs []Spec) ([]sim.Result, error) {
 			} else {
 				results[i], errs[i] = r.exec(cfg)
 			}
-			r.observe(PointEvent{
+			ev := PointEvent{
 				Index:  i,
 				Total:  len(specs),
 				Spec:   sp,
 				Wall:   time.Since(start),
 				Cached: cached,
 				Err:    errs[i],
-			})
+			}
+			if errs[i] == nil {
+				res := results[i]
+				ev.Result = &res
+			}
+			r.observe(ev)
 		}(i, sp)
 	}
 	wg.Wait()

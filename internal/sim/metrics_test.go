@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"encoding/json"
+	"testing"
+
+	"sdpcm/internal/core"
+)
+
+// metricsCfg is quickCfg with collection (and optionally tracing) enabled.
+func metricsCfg(scheme core.Scheme, bench string, traceEvents int) Config {
+	cfg := quickCfg(scheme, bench)
+	cfg.CollectMetrics = true
+	cfg.TraceEvents = traceEvents
+	return cfg
+}
+
+func TestMetricsDisabledByDefault(t *testing.T) {
+	r := run(t, quickCfg(core.LazyC(6), "lbm"))
+	if r.Metrics != nil {
+		t.Fatal("Metrics must be nil when collection is off")
+	}
+}
+
+func TestMetricsSnapshotMatchesStats(t *testing.T) {
+	r := run(t, metricsCfg(core.LazyCPreRead(6), "mcf", 0))
+	if r.Metrics == nil {
+		t.Fatal("no snapshot despite CollectMetrics")
+	}
+	s := r.Metrics
+	// The snapshot's published counters must agree with the Result's own
+	// Stats structs — one source of truth, two views.
+	checks := []struct {
+		name string
+		want uint64
+	}{
+		{"mc.write_ops", r.MC.WriteOps},
+		{"mc.demand_reads", r.MC.DemandReads},
+		{"mc.lazy_records", r.MC.LazyRecords},
+		{"wd.writes_observed", r.WD.WritesObserved},
+		{"ecp.wd_recorded", r.ECP.WDRecorded},
+		{"pcm.writes", r.Dev.Writes},
+		{"sim.instructions", r.Instructions},
+	}
+	for _, c := range checks {
+		if got := s.Counter(c.name); got != c.want {
+			t.Errorf("%s = %d, want %d", c.name, got, c.want)
+		}
+	}
+	if got := s.Gauge("sim.cycles"); got != r.Cycles {
+		t.Errorf("sim.cycles = %d, want %d", got, r.Cycles)
+	}
+	// The new distributions must have seen real traffic.
+	if hp, ok := s.Histogram("mc.read_latency"); !ok || hp.Count == 0 {
+		t.Error("mc.read_latency histogram empty")
+	}
+	if hp, ok := s.Histogram("mc.queue_depth_at_enqueue"); !ok || hp.Count == 0 {
+		t.Error("mc.queue_depth_at_enqueue histogram empty")
+	}
+}
+
+func TestMetricsDeterministic(t *testing.T) {
+	// Same config, same seed: the snapshots must be byte-identical JSON,
+	// including the event tail (TraceEvents implies collection).
+	cfg := metricsCfg(core.LazyCPreRead(6), "mcf", 0)
+	cfg.CollectMetrics = false
+	cfg.TraceEvents = 256
+	a := run(t, cfg)
+	b := run(t, cfg)
+	if a.Metrics == nil || b.Metrics == nil {
+		t.Fatal("TraceEvents alone should enable collection")
+	}
+	ja, err := json.Marshal(a.Metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, _ := json.Marshal(b.Metrics)
+	if string(ja) != string(jb) {
+		t.Fatalf("snapshots differ between identical runs:\n%s\n%s", ja, jb)
+	}
+	if !a.Metrics.Equal(b.Metrics) {
+		t.Fatal("Equal() disagrees with JSON identity")
+	}
+	if len(a.Metrics.Events) == 0 {
+		t.Fatal("no events traced on a write-heavy LazyC+PreRead run")
+	}
+}
+
+func TestTraceEventsBounded(t *testing.T) {
+	cfg := metricsCfg(core.LazyCPreRead(6), "mcf", 32)
+	r := run(t, cfg)
+	if n := len(r.Metrics.Events); n > 32 {
+		t.Fatalf("trace kept %d events, cap 32", n)
+	}
+	if r.Metrics.EventsDropped == 0 {
+		t.Fatal("expected drops with a 32-event ring on a full run")
+	}
+	// Seq strictly increases within the kept tail.
+	evs := r.Metrics.Events
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("event order broken at %d: %+v -> %+v", i, evs[i-1], evs[i])
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"sdpcm/internal/core"
 	"sdpcm/internal/ecp"
 	"sdpcm/internal/mc"
+	"sdpcm/internal/metrics"
 	"sdpcm/internal/pcm"
 	"sdpcm/internal/rng"
 	"sdpcm/internal/trace"
@@ -66,6 +67,17 @@ type Config struct {
 	// movements; 0 disables). Costs one line slot per row (1.6% capacity)
 	// and one controller-mediated line copy per psi writes per row.
 	WearLevelPsi int
+	// CollectMetrics attaches a metrics registry to the run: controller, WD
+	// engine, ECP and device activity plus latency/occupancy distributions
+	// are exported as Result.Metrics. Snapshots are deterministic — the same
+	// config and seed produce byte-identical exports — and collection is
+	// cheap but not free (the hot path gains histogram observations).
+	CollectMetrics bool
+	// TraceEvents, when positive, additionally keeps the last N typed
+	// events (WD inject/detect/park/flush, VnC cascade steps, PreRead
+	// issue/forward/hit, write-cancel preemptions, queue enqueue/stall/
+	// drain) in Result.Metrics.Events. Implies metrics collection.
+	TraceEvents int
 	// CheckIntegrity maintains a shadow copy of every line the cores write
 	// and verifies — on every read and again after the final flush — that
 	// the memory system returns exactly what was stored, i.e. that no
@@ -113,6 +125,12 @@ type Result struct {
 
 	// WearMoves counts Start-Gap line copies (when WearLevelPsi > 0).
 	WearMoves uint64
+
+	// Metrics is the run's observability snapshot — every module counter,
+	// the latency/occupancy histograms and (with Config.TraceEvents) the
+	// event-trace tail. Nil unless Config.CollectMetrics or
+	// Config.TraceEvents enabled collection.
+	Metrics *metrics.Snapshot
 }
 
 // CorrectionsPerWrite is the Figure 12 metric.
@@ -221,6 +239,12 @@ func Run(cfg Config) (Result, error) {
 	ctrl, err := mc.New(cfg.Scheme.MCConfig(cfg.WriteQueueCap), dev, allocator, root.SplitLabeled("mc"))
 	if err != nil {
 		return Result{}, err
+	}
+	var reg *metrics.Registry
+	if cfg.CollectMetrics || cfg.TraceEvents > 0 {
+		reg = metrics.New()
+		reg.EnableTrace(cfg.TraceEvents)
+		ctrl.Instrument(reg)
 	}
 	type coreSrc struct {
 		stream trace.Stream
@@ -365,6 +389,18 @@ func Run(cfg Config) (Result, error) {
 	res.Dev = dev.Stats
 	res.ECP = ctrl.ECP().Stats
 	res.WD = ctrl.Engine().Stats
+	if reg != nil {
+		res.MC.Publish(reg)
+		res.Dev.Publish(reg)
+		res.ECP.Publish(reg)
+		res.WD.Publish(reg)
+		reg.Counter("sim.instructions").Add(res.Instructions)
+		reg.Counter("sim.tlb_misses").Add(res.TLBMisses)
+		reg.Counter("sim.page_faults").Add(res.PageFaults)
+		reg.Counter("sim.wear_moves").Add(res.WearMoves)
+		reg.Gauge("sim.cycles").Set(res.Cycles)
+		res.Metrics = reg.Snapshot()
+	}
 	return res, nil
 }
 

@@ -1,0 +1,19 @@
+package wd
+
+import "sdpcm/internal/metrics"
+
+// Publish exports the engine counters into reg under the "wd." prefix.
+// Called once at end of run; a nil registry is a no-op.
+func (s Stats) Publish(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("wd.writes_observed").Add(s.WritesObserved)
+	reg.Counter("wd.inline_errors").Add(s.InLineErrors)
+	reg.Counter("wd.edge_errors").Add(s.EdgeErrors)
+	reg.Counter("wd.rewrite_pulses").Add(s.RewritePulses)
+	reg.Counter("wd.edge_heal_pulses").Add(s.EdgeHealPulses)
+	reg.Counter("wd.bitline_flips").Add(s.BitLineFlips)
+	reg.Gauge("wd.max_wordline_per_write").Set(uint64(s.MaxWordLinePerWrite))
+	reg.Gauge("wd.max_bitline_per_line").Set(uint64(s.MaxBitLinePerLine))
+}

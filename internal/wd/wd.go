@@ -30,6 +30,7 @@ package wd
 
 import (
 	"sdpcm/internal/din"
+	"sdpcm/internal/metrics"
 	"sdpcm/internal/pcm"
 	"sdpcm/internal/rng"
 	"sdpcm/internal/thermal"
@@ -61,13 +62,22 @@ type Engine struct {
 	Rates thermal.Rates
 	Stats Stats
 
+	// Now is the simulated cycle trace events are stamped with; the memory
+	// controller sets it to the write op's start time before OnWrite.
+	Now uint64
+
 	rnd *rng.Rand
+	tr  *metrics.Trace
 }
 
 // New builds an engine with the given per-axis disturbance probabilities.
 func New(rates thermal.Rates, rnd *rng.Rand) *Engine {
 	return &Engine{Rates: rates, rnd: rnd}
 }
+
+// Instrument attaches an event trace; injected bit-line errors are emitted
+// as EvWDInjected events. A nil trace leaves the engine silent.
+func (e *Engine) Instrument(tr *metrics.Trace) { e.tr = tr }
 
 // Outcome reports the disturbance consequences of one line write.
 type Outcome struct {
@@ -202,6 +212,9 @@ func (e *Engine) bitLineFlips(dev *pcm.Device, neighbour pcm.LineAddr, aggressor
 	if n > 0 {
 		dev.Disturb(neighbour, flips)
 		e.Stats.BitLineFlips += uint64(n)
+		if e.tr != nil {
+			e.tr.Emit(e.Now, metrics.EvWDInjected, uint64(neighbour), uint64(n), 0)
+		}
 	}
 	return flips, n
 }

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Golden-table harness. Every experiment's rendered table is pinned
+# byte-for-byte under testdata/golden/ at a small, fast, shape-preserving
+# scale; the CI golden job regenerates them and fails on any drift.
+#
+#   scripts/golden.sh --check    # regenerate and diff (CI; default)
+#   scripts/golden.sh --update   # refresh the pinned tables (make golden)
+#
+# The tables are deterministic: the sweep executor produces bit-identical
+# results regardless of worker count, and every stochastic element derives
+# from -seed. An intentional change to simulator behaviour is recorded by
+# rerunning with --update and committing the diff.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:---check}"
+
+GOLDEN_FLAGS=(-refs 2000 -cores 4 -benchmarks gemsFDTD,lbm,mcf -mem-mb 128 -region-pages 256 -seed 42)
+EXPS=(table1 capacity fig4 fig5 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 overhead)
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp/sdpcm-bench" ./cmd/sdpcm-bench
+
+generate() { # generate <dir>
+  local dir="$1"
+  mkdir -p "$dir"
+  for exp in "${EXPS[@]}"; do
+    "$tmp/sdpcm-bench" -exp "$exp" "${GOLDEN_FLAGS[@]}" >"$dir/$exp.txt" 2>/dev/null
+  done
+}
+
+case "$mode" in
+--update)
+  generate testdata/golden
+  echo "refreshed testdata/golden (${#EXPS[@]} tables)"
+  ;;
+--check)
+  generate "$tmp/golden"
+  status=0
+  for exp in "${EXPS[@]}"; do
+    if ! diff -u "testdata/golden/$exp.txt" "$tmp/golden/$exp.txt"; then
+      echo "golden mismatch: $exp (run 'make golden' to accept intentional changes)" >&2
+      status=1
+    fi
+  done
+  if [ "$status" -eq 0 ]; then
+    echo "golden tables match (${#EXPS[@]} tables, byte-for-byte)"
+  fi
+  exit "$status"
+  ;;
+*)
+  echo "usage: scripts/golden.sh [--check|--update]" >&2
+  exit 2
+  ;;
+esac

@@ -31,6 +31,11 @@
 // result tables.
 package sdpcm
 
+// The golden regression tables under testdata/golden/ pin every experiment's
+// rendered output byte-for-byte; refresh them after an intentional simulator
+// change (also available as `make golden`).
+//go:generate ./scripts/golden.sh --update
+
 import (
 	"fmt"
 	"io"
@@ -40,6 +45,7 @@ import (
 	"sdpcm/internal/core"
 	"sdpcm/internal/experiments"
 	"sdpcm/internal/geometry"
+	"sdpcm/internal/metrics"
 	"sdpcm/internal/runner"
 	"sdpcm/internal/sim"
 	"sdpcm/internal/stats"
@@ -118,6 +124,25 @@ func Run(cfg SimConfig) (SimResult, error) { return sim.Run(cfg) }
 
 // Speedup is the §5.2 performance metric: CPI_base / CPI_tech.
 func Speedup(base, tech SimResult) float64 { return stats.Speedup(base.CPI, tech.CPI) }
+
+// Metrics observability re-exports: enable via SimConfig.CollectMetrics /
+// SimConfig.TraceEvents (or the matching ExperimentOptions fields) and read
+// the deterministic per-run snapshot from SimResult.Metrics. Same config and
+// seed ⇒ byte-identical snapshot, so snapshots double as regression
+// fixtures.
+
+// MetricsSnapshot is one run's exported counters, gauges, histograms and
+// event-trace tail, name-sorted for stable diffing and JSON export.
+type MetricsSnapshot = metrics.Snapshot
+
+// MetricsEvent is one typed event-trace record.
+type MetricsEvent = metrics.Event
+
+// MetricsEventKind labels an event-trace record type.
+type MetricsEventKind = metrics.EventKind
+
+// MetricsHistogramPoint is one exported fixed-bucket distribution.
+type MetricsHistogramPoint = metrics.HistogramPoint
 
 // MixSpec names the per-core benchmarks of a multi-programmed workload.
 type MixSpec = workload.MixSpec
