@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench golden check-golden bench-record lint ci
+.PHONY: build test race bench golden check-golden bench-record obs-smoke lint ci
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,11 @@ golden:
 check-golden:
 	./scripts/golden.sh --check
 
+# Start sdpcm-bench -listen on a free port and scrape /metrics, /progress
+# and /events mid-run; fails on any non-200 or unparsable payload.
+obs-smoke:
+	./scripts/obs_smoke.sh
+
 # Emit one point of the performance trajectory (BENCH_ci.json).
 bench-record:
 	$(GO) run ./cmd/sdpcm-bench -exp fig11 -refs 2000 -cores 4 \
@@ -37,4 +42,4 @@ lint:
 	$(GO) vet ./...
 	test -z "$$(gofmt -l .)"
 
-ci: build lint race check-golden bench
+ci: build lint race check-golden bench obs-smoke

@@ -69,19 +69,34 @@ func (t *tally) PointDone(ev sdpcm.SweepEvent) {
 	}
 }
 
-// aggregator folds every completed point's metrics snapshot into one
-// cross-sweep aggregate. Merging is commutative (counters and histogram
-// buckets sum, gauges keep the max), so the aggregate is deterministic
-// regardless of worker count or completion order.
+// aggregator folds every completed point's metrics snapshot (and, when
+// enabled, its WD heatmap) into one cross-sweep aggregate. Merging is
+// commutative (counters and histogram buckets sum, gauges keep the max,
+// heatmap cells sum), so the aggregate is deterministic regardless of worker
+// count or completion order.
 type aggregator struct {
 	merged *sdpcm.MetricsSnapshot
+	heat   *sdpcm.HeatmapSnapshot
+	// publish, when set, receives a copy of the running aggregate after each
+	// point — the live /metrics feed. The copy is shallow: Merge builds fresh
+	// slices for the next aggregate, so a published snapshot is never written
+	// again.
+	publish func(*sdpcm.MetricsSnapshot)
 }
 
 func (a *aggregator) PointDone(ev sdpcm.SweepEvent) {
-	if ev.Err != nil || ev.Result == nil || ev.Result.Metrics == nil {
+	if ev.Err != nil || ev.Result == nil {
+		return
+	}
+	a.heat = a.heat.Merge(ev.Result.Heatmap)
+	if ev.Result.Metrics == nil {
 		return
 	}
 	a.merged = a.merged.Merge(ev.Result.Metrics)
+	if a.publish != nil && a.merged != nil {
+		cp := *a.merged
+		a.publish(&cp)
+	}
 }
 
 func (t *tally) reset() tally {
@@ -105,6 +120,10 @@ func main() {
 		metricf  = flag.String("metrics", "", "emit the aggregated metrics snapshot after the tables: 'json' or 'table'")
 		trEv     = flag.Int("trace-events", 0, "keep the last N controller events per simulation point")
 		benchOut = flag.String("bench-json", "", "write a machine-readable run record (wall time, sims, cache hits, metrics) to this file")
+		listen   = flag.String("listen", "", "serve live /metrics, /progress, /events and /debug/pprof on this address (e.g. :8080) while the sweep runs")
+		heatTab  = flag.Bool("heatmap", false, "append the merged WD spatial heatmap (per-bank x line-region) as an ASCII table")
+		heatOut  = flag.String("heatmap-json", "", "write the merged WD spatial heatmap as JSON to this file")
+		heatReg  = flag.Int("heatmap-regions", 16, "line-regions per bank in the WD heatmap")
 	)
 	flag.Parse()
 
@@ -120,8 +139,11 @@ func main() {
 		RegionPages:    *region,
 		Parallel:       *parallel,
 		NoCache:        *noCache,
-		CollectMetrics: *metricf != "" || *benchOut != "",
+		CollectMetrics: *metricf != "" || *benchOut != "" || *listen != "",
 		TraceEvents:    *trEv,
+	}
+	if *heatTab || *heatOut != "" {
+		opts.HeatmapRegions = *heatReg
 	}
 	if *bench != "" {
 		known := map[string]bool{}
@@ -143,6 +165,20 @@ func main() {
 	observers := []sdpcm.SweepObserver{counts, agg}
 	if *progress {
 		observers = append(observers, sdpcm.SweepProgress(os.Stderr))
+	}
+	var tracker *sdpcm.ObsProgress
+	if *listen != "" {
+		srv := sdpcm.NewObsServer()
+		addr, err := srv.Start(*listen)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sdpcm-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "obs: listening on http://%s\n", addr)
+		agg.publish = srv.SetSnapshot
+		tracker = srv.Progress()
+		observers = append(observers, tracker)
 	}
 	opts.Observer = sdpcm.SweepMulti(observers...)
 	// One executor for the whole invocation: its memo cache spans
@@ -177,6 +213,9 @@ func main() {
 			continue
 		}
 		ranExps = append(ranExps, e.name)
+		if tracker != nil {
+			tracker.Begin(e.name)
+		}
 		expStart := time.Now()
 		tb, err := e.run(opts)
 		if err != nil {
@@ -210,6 +249,26 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *heatTab {
+		fmt.Println()
+		if err := sdpcm.WriteHeatmapTable(os.Stdout, agg.heat); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *heatOut != "" {
+		f, err := os.Create(*heatOut)
+		if err == nil {
+			err = sdpcm.WriteHeatmapJSON(f, agg.heat)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sdpcm-bench: %v\n", err)
 			os.Exit(1)
 		}
 	}

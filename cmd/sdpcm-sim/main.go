@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -67,6 +68,12 @@ func main() {
 		traces  = flag.String("trace", "", "comma-separated trace files to replay (one per core) instead of -bench")
 		metricf = flag.String("metrics", "", "append the run's metrics snapshot: 'json' or 'table'")
 		trEv    = flag.Int("trace-events", 0, "keep the last N controller events in the metrics snapshot")
+		listen  = flag.String("listen", "", "serve live /metrics, /progress, /events and /debug/pprof on this address (e.g. :8080) while the run is in flight")
+		snapEv  = flag.Uint64("snapshot-interval", 0, "publish a mid-run metrics snapshot every N simulated cycles (default 1M when -listen is set)")
+		perfOut = flag.String("perfetto", "", "write the event-trace tail as Perfetto/Chrome trace-event JSON to this file (implies -trace-events when unset)")
+		heatTab = flag.Bool("heatmap", false, "append the WD spatial heatmap (per-bank x line-region) as an ASCII table")
+		heatOut = flag.String("heatmap-json", "", "write the WD spatial heatmap as JSON to this file")
+		heatReg = flag.Int("heatmap-regions", 16, "line-regions per bank in the WD heatmap")
 	)
 	flag.Parse()
 
@@ -85,6 +92,9 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	if *perfOut != "" && *trEv <= 0 {
+		*trEv = 65536 // the timeline needs events; keep a generous tail
+	}
 	cfg := sdpcm.SimConfig{
 		Scheme:         s,
 		Mix:            sdpcm.HomogeneousMix(*bench, *cores),
@@ -93,8 +103,26 @@ func main() {
 		MemPages:       1 << 17,
 		RegionPages:    1024,
 		Seed:           *seed,
-		CollectMetrics: *metricf != "",
+		CollectMetrics: *metricf != "" || *listen != "",
 		TraceEvents:    *trEv,
+	}
+	if *heatTab || *heatOut != "" {
+		cfg.HeatmapRegions = *heatReg
+	}
+	if *listen != "" {
+		srv := sdpcm.NewObsServer()
+		addr, err := srv.Start(*listen)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sdpcm-sim: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "obs: listening on http://%s\n", addr)
+		cfg.OnSnapshot = srv.SetSnapshot
+		cfg.SnapshotInterval = *snapEv
+		if cfg.SnapshotInterval == 0 {
+			cfg.SnapshotInterval = 1 << 20
+		}
 	}
 	if *traces != "" {
 		streams, err := sdpcm.LoadTraceStreams(strings.Split(*traces, ",")...)
@@ -120,6 +148,11 @@ func main() {
 	if !*noBase {
 		baseCfg := cfg
 		baseCfg.Scheme = sdpcm.Baseline()
+		// The comparison run is internal bookkeeping: don't publish its
+		// snapshots or accumulate its heatmap over the main run's outputs.
+		baseCfg.OnSnapshot = nil
+		baseCfg.SnapshotInterval = 0
+		baseCfg.HeatmapRegions = 0
 		base, err := sdpcm.Run(baseCfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -144,7 +177,7 @@ func main() {
 		res.DataChipLifetime(), res.ECPChipLifetime())
 	fmt.Printf("VM            %d page faults, %d TLB misses\n", res.PageFaults, res.TLBMisses)
 
-	if res.Metrics != nil {
+	if res.Metrics != nil && *metricf != "" {
 		fmt.Println()
 		var err error
 		if *metricf == "json" {
@@ -157,4 +190,46 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *perfOut != "" {
+		if err := writeFileWith(*perfOut, func(w io.Writer) error {
+			var events []sdpcm.MetricsEvent
+			if res.Metrics != nil {
+				events = res.Metrics.Events
+			}
+			return sdpcm.WritePerfetto(w, events)
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "sdpcm-sim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote Perfetto timeline to %s (open in ui.perfetto.dev)\n", *perfOut)
+	}
+	if *heatTab {
+		fmt.Println()
+		if err := sdpcm.WriteHeatmapTable(os.Stdout, res.Heatmap); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *heatOut != "" {
+		if err := writeFileWith(*heatOut, func(w io.Writer) error {
+			return sdpcm.WriteHeatmapJSON(w, res.Heatmap)
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "sdpcm-sim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeFileWith creates path, streams fill into it and surfaces the first
+// error, including Close (the write matters — it's the command's output).
+func writeFileWith(path string, fill func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = fill(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"sdpcm/internal/cpu"
 	"sdpcm/internal/trace"
@@ -22,7 +23,7 @@ import (
 
 func main() {
 	if len(os.Args) < 2 {
-		usage()
+		usagef("missing subcommand")
 	}
 	switch os.Args[1] {
 	case "gen":
@@ -32,11 +33,14 @@ func main() {
 	case "info":
 		info(os.Args[2:])
 	default:
-		usage()
+		usagef("unknown subcommand %q", os.Args[1])
 	}
 }
 
-func usage() {
+// usagef reports a usage error: one line naming the problem, one line of
+// usage, exit status 2 (distinct from runtime failures, which exit 1).
+func usagef(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sdpcm-trace: %s\n", fmt.Sprintf(format, args...))
 	fmt.Fprintln(os.Stderr, "usage: sdpcm-trace gen|capture|info [flags]")
 	os.Exit(2)
 }
@@ -46,6 +50,16 @@ func fail(err error) {
 	os.Exit(1)
 }
 
+// benchSpec resolves a -bench name, exiting 2 with the known vocabulary on a
+// miss (a misspelled benchmark is a usage error, not a runtime failure).
+func benchSpec(bench string) workload.Spec {
+	spec, err := workload.ByName(bench)
+	if err != nil {
+		usagef("%v (known: %s)", err, strings.Join(workload.Names(), "|"))
+	}
+	return spec
+}
+
 func gen(args []string) {
 	fs := flag.NewFlagSet("gen", flag.ExitOnError)
 	bench := fs.String("bench", "lbm", "Table 3 benchmark")
@@ -53,10 +67,10 @@ func gen(args []string) {
 	seed := fs.Uint64("seed", 1, "random seed")
 	out := fs.String("o", "", "output file (default <bench>.trc)")
 	fs.Parse(args)
-	spec, err := workload.ByName(*bench)
-	if err != nil {
-		fail(err)
+	if *refs <= 0 {
+		usagef("gen: -refs must be positive (got %d)", *refs)
 	}
+	spec := benchSpec(*bench)
 	g, err := workload.NewGenerator(spec, *seed)
 	if err != nil {
 		fail(err)
@@ -74,10 +88,10 @@ func capture(args []string) {
 	seed := fs.Uint64("seed", 1, "random seed")
 	out := fs.String("o", "", "output file (default <bench>-cap.trc)")
 	fs.Parse(args)
-	spec, err := workload.ByName(*bench)
-	if err != nil {
-		fail(err)
+	if *refs <= 0 {
+		usagef("capture: -refs must be positive (got %d)", *refs)
 	}
+	spec := benchSpec(*bench)
 	// Reinterpret the spec at CPU level: the caches will filter it back
 	// down toward the memory-level rates.
 	spec.RPKI *= *scale
@@ -97,7 +111,7 @@ func capture(args []string) {
 
 func info(args []string) {
 	if len(args) != 1 {
-		usage()
+		usagef("info: expected exactly one trace file, got %d args", len(args))
 	}
 	f, err := os.Open(args[0])
 	if err != nil {

@@ -52,6 +52,10 @@ type Options struct {
 	CollectMetrics bool
 	// TraceEvents additionally keeps the last N typed events per point.
 	TraceEvents int
+	// HeatmapRegions enables the WD spatial heatmap on every point: each
+	// result carries a per bank × line-region accumulation of injected
+	// flips, parked errors and cascade activity (sim.Result.Heatmap).
+	HeatmapRegions int
 	// Parallel bounds concurrent simulations (0 = GOMAXPROCS, 1 =
 	// sequential). Results are identical either way.
 	Parallel int
@@ -98,6 +102,7 @@ func (o Options) base() runner.Base {
 		Seed:           o.Seed,
 		CollectMetrics: o.CollectMetrics,
 		TraceEvents:    o.TraceEvents,
+		HeatmapRegions: o.HeatmapRegions,
 	}
 }
 

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"sdpcm/internal/runner"
+	"sdpcm/internal/wd"
+)
+
+// collectHeatmaps merges every point's heatmap the way sdpcm-bench's
+// aggregator does.
+type collectHeatmaps struct {
+	merged *wd.HeatmapSnapshot
+	points int
+}
+
+func (c *collectHeatmaps) PointDone(ev runner.PointEvent) {
+	c.points++
+	if ev.Err == nil && ev.Result != nil {
+		c.merged = c.merged.Merge(ev.Result.Heatmap)
+	}
+}
+
+// TestHeatmapDeterministicAcrossParallel is the acceptance check for the
+// sweep-level heatmap: the merged aggregate must be bit-identical whether
+// the points run sequentially or on four workers (merge commutativity plus
+// per-point determinism).
+func TestHeatmapDeterministicAcrossParallel(t *testing.T) {
+	run := func(parallel int) *wd.HeatmapSnapshot {
+		o := fastOpts()
+		o.Benchmarks = []string{"lbm", "mcf"}
+		o.HeatmapRegions = 8
+		o.Parallel = parallel
+		c := &collectHeatmaps{}
+		o.Observer = c
+		if _, err := Fig12(o); err != nil {
+			t.Fatal(err)
+		}
+		if c.points == 0 {
+			t.Fatal("observer saw no points")
+		}
+		if c.merged == nil {
+			t.Fatal("no heatmaps collected despite HeatmapRegions")
+		}
+		return c.merged
+	}
+	seq := run(1)
+	par := run(4)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("merged heatmap differs between -parallel 1 and 4")
+	}
+	if seq.Total(func(c wd.HeatCell) uint64 { return c.Injected }) == 0 {
+		t.Fatal("sweep recorded no injected flips")
+	}
+}
+
+// TestHeatmapFlowsThroughCache checks that cached points still deliver their
+// heatmap to observers (the memoized Result carries it).
+func TestHeatmapFlowsThroughCache(t *testing.T) {
+	o := fastOpts()
+	o.Benchmarks = []string{"lbm"}
+	o.HeatmapRegions = 4
+	ex := NewRunner(o)
+	o.Exec = ex
+	c := &collectHeatmaps{}
+
+	// First pass simulates; run it without the observer.
+	if _, err := Fig12(o); err != nil {
+		t.Fatal(err)
+	}
+	// Second identical pass is served from the memo cache; attach the
+	// observer directly to the shared executor (Exec wins over Options).
+	ex.Observer = c
+	if _, err := Fig12(o); err != nil {
+		t.Fatal(err)
+	}
+	if c.points == 0 || c.merged == nil {
+		t.Fatalf("cached pass delivered %d points, merged=%v", c.points, c.merged)
+	}
+	st := ex.Stats()
+	if st.CacheHits == 0 {
+		t.Fatal("second pass should have hit the cache")
+	}
+}

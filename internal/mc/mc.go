@@ -196,6 +196,7 @@ type Controller struct {
 	// Instrumentation handles (all nil when uninstrumented: every use is a
 	// nil-safe no-op, so the disabled cost is one branch per site).
 	tr           *metrics.Trace
+	hm           *wd.Heatmap
 	readLat      *metrics.Histogram
 	queueRes     *metrics.Histogram
 	queueDepth   *metrics.Histogram
@@ -251,6 +252,15 @@ func (c *Controller) Instrument(reg *metrics.Registry) {
 	c.cascadeDepth = reg.Histogram("mc.cascade_depth", []uint64{0, 1, 2, 3, 4, 6, 8, 12, 16, 32})
 	c.engine.Instrument(reg.Trace())
 	c.ecp.Instrument(reg)
+}
+
+// InstrumentHeatmap attaches a WD spatial heatmap to the controller and its
+// disturbance engine: injected flips, LazyCorrection parks and correction
+// writes accumulate per bank × line-region. A nil heatmap is the disabled
+// (zero-overhead) default.
+func (c *Controller) InstrumentHeatmap(h *wd.Heatmap) {
+	c.hm = h
+	c.engine.InstrumentHeatmap(h)
 }
 
 // Device exposes the underlying array (for wear statistics).

@@ -110,6 +110,7 @@ func (c *Controller) verifyNeighbour(addr pcm.LineAddr, flips pcm.Mask, depth in
 	// chip and costs no data-bank time.
 	if c.cfg.LazyCorrection && c.ecp.RecordWD(addr, newBits) {
 		c.Stats.LazyRecords++
+		c.hm.RecordParked(addr, len(newBits))
 		if c.tr != nil {
 			c.tr.Emit(c.engine.Now, metrics.EvWDParked, uint64(addr), uint64(len(newBits)), uint64(c.ecp.Recorded(addr)))
 		}
@@ -135,6 +136,7 @@ func (c *Controller) correctLine(addr pcm.LineAddr, newFlips pcm.Mask, depth int
 	c.ecp.ClearWD(addr, true)
 	c.Stats.CorrectionWrites++
 	c.cascadeDepth.Observe(uint64(depth))
+	c.hm.RecordCorrection(addr, pending.PopCount(), depth)
 	if c.tr != nil {
 		c.tr.Emit(c.engine.Now, metrics.EvWDFlushed, uint64(addr), uint64(pending.PopCount()), uint64(depth))
 	}

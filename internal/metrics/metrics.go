@@ -109,6 +109,55 @@ func (h *Histogram) Sum() uint64 {
 	return h.sum
 }
 
+// Quantile estimates the q-quantile (0 <= q <= 1) of the observed samples,
+// interpolating linearly inside the containing bucket. Samples landing in
+// the unbounded overflow bucket are attributed to the top bound, so
+// quantiles saturate there (the Prometheus histogram_quantile convention).
+// Returns 0 on a nil or empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	return quantile(h.bounds, h.counts, h.n, q)
+}
+
+// quantile is the shared bucket-walking estimator behind Histogram.Quantile
+// and HistogramPoint.Quantile.
+func quantile(bounds, counts []uint64, n uint64, q float64) float64 {
+	if n == 0 || len(bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(n)
+	var cum uint64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		prev := float64(cum)
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(bounds) {
+			// Overflow bucket: no upper edge to interpolate toward.
+			return float64(bounds[len(bounds)-1])
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = float64(bounds[i-1])
+		}
+		hi := float64(bounds[i])
+		return lo + (hi-lo)*(rank-prev)/float64(c)
+	}
+	return float64(bounds[len(bounds)-1])
+}
+
 // Registry owns the instruments of one simulation run. The zero value is not
 // usable; construct with New. A nil *Registry is the disabled form: every
 // lookup returns a nil handle and Snapshot returns nil.

@@ -1,0 +1,85 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuantileEmptyAndClamp(t *testing.T) {
+	h := &Histogram{}
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v", got)
+	}
+	r := New()
+	hh := r.Histogram("x", []uint64{10, 20})
+	hh.Observe(5)
+	// q outside [0,1] clamps rather than panicking or extrapolating.
+	if lo, hi := hh.Quantile(-3), hh.Quantile(7); lo > hi {
+		t.Fatalf("clamped quantiles inverted: %v > %v", lo, hi)
+	}
+}
+
+func TestQuantileUniformInterpolation(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat", []uint64{100})
+	// 100 samples spread uniformly through the (0,100] bucket: the linear
+	// interpolation should place p50 near the middle of the bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(uint64(i + 1))
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 40 || p50 > 60 {
+		t.Fatalf("p50 = %v, want ~50", p50)
+	}
+	if p10, p90 := h.Quantile(0.1), h.Quantile(0.9); !(p10 < p50 && p50 < p90) {
+		t.Fatalf("quantiles not ordered: %v %v %v", p10, p50, p90)
+	}
+}
+
+func TestQuantileAcrossBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat", []uint64{10, 100, 1000})
+	for i := 0; i < 90; i++ {
+		h.Observe(5) // 90 samples in (0,10]
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(500) // 10 samples in (100,1000]
+	}
+	if p50 := h.Quantile(0.5); p50 > 10 {
+		t.Fatalf("p50 = %v, want inside the first bucket", p50)
+	}
+	p95 := h.Quantile(0.95)
+	if p95 <= 100 || p95 > 1000 {
+		t.Fatalf("p95 = %v, want inside (100,1000]", p95)
+	}
+}
+
+func TestQuantileOverflowBucketSaturates(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat", []uint64{10, 100})
+	for i := 0; i < 10; i++ {
+		h.Observe(5000) // all samples above the top bound
+	}
+	// Prometheus convention: quantiles falling in the overflow bucket report
+	// the highest finite bound rather than inventing a value.
+	if got := h.Quantile(0.99); got != 100 {
+		t.Fatalf("overflow quantile = %v, want 100", got)
+	}
+}
+
+func TestHistogramPointQuantileMatchesLive(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat", []uint64{10, 100, 1000})
+	for _, v := range []uint64{3, 8, 15, 40, 70, 200, 600, 2000} {
+		h.Observe(v)
+	}
+	hp, ok := r.Snapshot().Histogram("lat")
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.95, 1} {
+		if live, snap := h.Quantile(q), hp.Quantile(q); math.Abs(live-snap) > 1e-9 {
+			t.Fatalf("q=%v: live %v != snapshot %v", q, live, snap)
+		}
+	}
+}

@@ -38,6 +38,13 @@ func (h HistogramPoint) Mean() float64 {
 	return float64(h.Sum) / float64(h.Count)
 }
 
+// Quantile estimates the q-quantile of the exported distribution with
+// linear interpolation inside buckets; see Histogram.Quantile for the
+// overflow-bucket convention.
+func (h HistogramPoint) Quantile(q float64) float64 {
+	return quantile(h.Bounds, h.Counts, h.Count, q)
+}
+
 // Snapshot is a registry export: every slice is sorted by instrument name,
 // so equal registries marshal to byte-identical JSON and snapshots serve as
 // regression fixtures. The zero value is a valid empty snapshot; a nil
@@ -126,7 +133,9 @@ func (s *Snapshot) WriteTable(w io.Writer) error {
 		}
 	}
 	for _, h := range s.Histograms {
-		if _, err := fmt.Fprintf(w, "%-40s n=%d sum=%d mean=%.1f\n", h.Name, h.Count, h.Sum, h.Mean()); err != nil {
+		if _, err := fmt.Fprintf(w, "%-40s n=%d sum=%d mean=%.1f p50=%.1f p95=%.1f p99=%.1f\n",
+			h.Name, h.Count, h.Sum, h.Mean(),
+			h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99)); err != nil {
 			return err
 		}
 		for i, n := range h.Counts {
@@ -147,8 +156,7 @@ func (s *Snapshot) WriteTable(w io.Writer) error {
 			return err
 		}
 		for _, e := range s.Events {
-			if _, err := fmt.Fprintf(w, "  #%-8d t=%-12d %-18s addr=%d a=%d b=%d\n",
-				e.Seq, e.Time, e.Kind, e.Addr, e.A, e.B); err != nil {
+			if _, err := fmt.Fprintf(w, "  #%-8d t=%-12d %s\n", e.Seq, e.Time, e); err != nil {
 				return err
 			}
 		}

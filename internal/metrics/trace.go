@@ -1,6 +1,9 @@
 package metrics
 
-import "fmt"
+import (
+	"encoding/json"
+	"fmt"
+)
 
 // EventKind labels one event-trace record type. The set mirrors the
 // controller's decision points: where write disturbance is injected and
@@ -80,6 +83,22 @@ func (k EventKind) MarshalJSON() ([]byte, error) {
 	return []byte(`"` + k.String() + `"`), nil
 }
 
+// UnmarshalJSON accepts a wire name, so /events payloads and snapshot JSON
+// round-trip through Event.
+func (k *EventKind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	for i, name := range eventKindNames {
+		if name == s {
+			*k = EventKind(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("metrics: unknown event kind %q", s)
+}
+
 // Event is one trace record. Seq is the global emission index (0-based,
 // monotonic even after the ring wraps); Time is the simulated cycle of the
 // emitting operation; Addr and A/B are kind-specific (see EventKind docs).
@@ -90,6 +109,41 @@ type Event struct {
 	Addr uint64    `json:"addr"`
 	A    uint64    `json:"a,omitempty"`
 	B    uint64    `json:"b,omitempty"`
+}
+
+// String renders the event with its kind-specific Addr/A/B semantics spelled
+// out (see the EventKind docs), e.g. "wd-parked line=93 errors=2 occupied=4".
+// Seq and Time are left to the caller — table renderers print them as
+// columns of their own.
+func (e Event) String() string {
+	switch e.Kind {
+	case EvWDInjected:
+		return fmt.Sprintf("%s line=%d flips=%d", e.Kind, e.Addr, e.A)
+	case EvWDDetected:
+		return fmt.Sprintf("%s line=%d errors=%d depth=%d", e.Kind, e.Addr, e.A, e.B)
+	case EvWDParked:
+		return fmt.Sprintf("%s line=%d errors=%d occupied=%d", e.Kind, e.Addr, e.A, e.B)
+	case EvWDFlushed:
+		return fmt.Sprintf("%s line=%d corrected=%d depth=%d", e.Kind, e.Addr, e.A, e.B)
+	case EvCascadeStep:
+		return fmt.Sprintf("%s line=%d next-depth=%d", e.Kind, e.Addr, e.A)
+	case EvPreReadIssued, EvPreReadForwarded, EvPreReadCanceled:
+		return fmt.Sprintf("%s line=%d entry=%d", e.Kind, e.Addr, e.A)
+	case EvPreReadHit:
+		return fmt.Sprintf("%s line=%d", e.Kind, e.Addr)
+	case EvWriteCancel:
+		return fmt.Sprintf("%s line=%d queued=%d", e.Kind, e.Addr, e.A)
+	case EvQueueEnqueue:
+		return fmt.Sprintf("%s line=%d depth=%d", e.Kind, e.Addr, e.A)
+	case EvQueueStall:
+		return fmt.Sprintf("%s line=%d depth=%d", e.Kind, e.Addr, e.A)
+	case EvQueueDrain:
+		if e.B == 1 {
+			return fmt.Sprintf("%s line=%d residency=%d bursty", e.Kind, e.Addr, e.A)
+		}
+		return fmt.Sprintf("%s line=%d residency=%d", e.Kind, e.Addr, e.A)
+	}
+	return fmt.Sprintf("%s addr=%d a=%d b=%d", e.Kind, e.Addr, e.A, e.B)
 }
 
 // Trace is a bounded ring buffer of events keeping the most recent cap

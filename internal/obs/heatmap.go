@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"sdpcm/internal/wd"
+)
+
+// WriteHeatmapJSON writes the heatmap as indented JSON ("null" when the
+// heatmap was disabled).
+func WriteHeatmapJSON(w io.Writer, s *wd.HeatmapSnapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteHeatmapTable renders the heatmap as fixed-width ASCII tables — one
+// per accumulated quantity, banks down, line-regions across — so the
+// bit-line clustering the paper's µTrench model predicts (§2.2) is directly
+// inspectable from a terminal. Deterministic for a given snapshot.
+func WriteHeatmapTable(w io.Writer, s *wd.HeatmapSnapshot) error {
+	if s == nil {
+		_, err := fmt.Fprintln(w, "(heatmap disabled)")
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "WD spatial heatmap: %d banks x %d line-regions (banks down, regions across)\n",
+		s.Banks, s.Regions); err != nil {
+		return err
+	}
+	sections := []struct {
+		title string
+		cell  func(wd.HeatCell) uint64
+	}{
+		{"injected bit-line flips", func(c wd.HeatCell) uint64 { return c.Injected }},
+		{"parked errors (LazyCorrection)", func(c wd.HeatCell) uint64 { return c.Parked }},
+		{"flushed cells (correction writes)", func(c wd.HeatCell) uint64 { return c.Flushed }},
+		{"max cascade depth", func(c wd.HeatCell) uint64 { return c.CascadeMax }},
+	}
+	for _, sec := range sections {
+		if err := writeHeatSection(w, s, sec.title, sec.cell); err != nil {
+			return err
+		}
+	}
+	corrections := s.Total(func(c wd.HeatCell) uint64 { return c.Corrections })
+	cascadeSum := s.Total(func(c wd.HeatCell) uint64 { return c.CascadeSum })
+	mean := 0.0
+	if corrections > 0 {
+		mean = float64(cascadeSum) / float64(corrections)
+	}
+	_, err := fmt.Fprintf(w, "corrections %d, mean cascade depth %.3f\n", corrections, mean)
+	return err
+}
+
+func writeHeatSection(w io.Writer, s *wd.HeatmapSnapshot, title string, cell func(wd.HeatCell) uint64) error {
+	if _, err := fmt.Fprintf(w, "\n%s (total %d)\n", title, s.Total(cell)); err != nil {
+		return err
+	}
+	// One column width fits the largest value (and the region header).
+	width := 4
+	for _, row := range s.Cells {
+		for _, c := range row {
+			if n := len(fmt.Sprintf("%d", cell(c))); n+1 > width {
+				width = n + 1
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "bank"); err != nil {
+		return err
+	}
+	for r := 0; r < s.Regions; r++ {
+		if _, err := fmt.Fprintf(w, "%*d", width, r); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for b, row := range s.Cells {
+		if _, err := fmt.Fprintf(w, "%4d", b); err != nil {
+			return err
+		}
+		for _, c := range row {
+			if _, err := fmt.Fprintf(w, "%*d", width, cell(c)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

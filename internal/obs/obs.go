@@ -1,0 +1,163 @@
+// Package obs is the live observability plane over the metrics registry
+// (internal/metrics) and the sweep runner (internal/runner): an HTTP server
+// exposing Prometheus-format metrics, sweep progress, the event-trace tail
+// and net/http/pprof while a simulation or sweep is in flight, plus offline
+// exporters — Perfetto/Chrome trace-event timelines from the typed event
+// ring, and ASCII/JSON renderings of the WD spatial heatmap.
+//
+// Everything here is pull-based and zero-cost when unused: producers hand
+// the server immutable snapshots (sim.Config.OnSnapshot, or a sweep
+// observer), and HTTP handlers render whatever snapshot is current. Nothing
+// in this package touches the simulator's hot path.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+
+	"sdpcm/internal/metrics"
+)
+
+// Server serves the live observability endpoints:
+//
+//	/metrics       Prometheus text exposition of the current snapshot
+//	/progress      sweep progress JSON (points done/cached/errored, rate, ETA)
+//	/events        most recent event-ring records as JSON (?n= limits)
+//	/debug/pprof/  the standard Go profiling endpoints
+//
+// Producers publish with SetSnapshot (which sim.Config.OnSnapshot can point
+// at directly) and by feeding the Progress tracker; handlers read under a
+// lock, so publication and serving never race. The zero value is not usable;
+// construct with NewServer.
+type Server struct {
+	mu   sync.RWMutex
+	snap *metrics.Snapshot
+	prog *Progress
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// NewServer builds a server with an empty snapshot and a fresh Progress
+// tracker.
+func NewServer() *Server {
+	return &Server{prog: NewProgress()}
+}
+
+// SetSnapshot publishes a snapshot; the snapshot must not be mutated after
+// the call. The signature matches sim.Config.OnSnapshot, so a simulation
+// publishes mid-run state with `cfg.OnSnapshot = srv.SetSnapshot`.
+func (s *Server) SetSnapshot(sn *metrics.Snapshot) {
+	s.mu.Lock()
+	s.snap = sn
+	s.mu.Unlock()
+}
+
+// Snapshot returns the most recently published snapshot (nil before the
+// first publication).
+func (s *Server) Snapshot() *metrics.Snapshot {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.snap
+}
+
+// Progress returns the server's sweep tracker, for wiring into a runner
+// observer chain.
+func (s *Server) Progress() *Progress { return s.prog }
+
+// Handler returns the observability mux (usable under httptest or a custom
+// server).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/progress", s.handleProgress)
+	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Start binds addr (":0" picks a free port) and serves in a background
+// goroutine, returning the bound address. Close shuts the listener down.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.Handler()}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return ln.Addr().String(), nil
+}
+
+// Close stops a started server; a no-op otherwise.
+func (s *Server) Close() error {
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	fmt.Fprint(w, "sdpcm observability\n\n/metrics\n/progress\n/events\n/debug/pprof/\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := WritePrometheus(w, s.Snapshot()); err != nil {
+		// Headers are gone; all we can do is drop the connection.
+		return
+	}
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.prog.Snapshot()) //nolint:errcheck // best effort over HTTP
+}
+
+// eventsPayload is the /events JSON shape.
+type eventsPayload struct {
+	Events  []metrics.Event `json:"events"`
+	Dropped uint64          `json:"dropped"`
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	sn := s.Snapshot()
+	payload := eventsPayload{}
+	if sn != nil {
+		payload.Events = sn.Events
+		payload.Dropped = sn.EventsDropped
+	}
+	if nStr := r.URL.Query().Get("n"); nStr != "" {
+		n, err := strconv.Atoi(nStr)
+		if err != nil || n < 0 {
+			http.Error(w, "bad n", http.StatusBadRequest)
+			return
+		}
+		if n < len(payload.Events) {
+			payload.Dropped += uint64(len(payload.Events) - n)
+			payload.Events = payload.Events[len(payload.Events)-n:]
+		}
+	}
+	if payload.Events == nil {
+		payload.Events = []metrics.Event{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(payload) //nolint:errcheck // best effort over HTTP
+}

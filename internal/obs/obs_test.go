@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"sdpcm/internal/metrics"
+	"sdpcm/internal/runner"
+)
+
+func testServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s := NewServer()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func get(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func TestServerEndpoints(t *testing.T) {
+	s, ts := testServer(t)
+
+	r := metrics.New()
+	r.Counter("mc.write_ops").Add(7)
+	tr := r.EnableTrace(8)
+	tr.Emit(100, metrics.EvWDParked, 93, 2, 4)
+	tr.Emit(200, metrics.EvWDFlushed, 93, 2, 1)
+	s.SetSnapshot(r.Snapshot())
+	s.Progress().Begin("fig11")
+	s.Progress().PointDone(runner.PointEvent{Total: 4})
+
+	code, body, hdr := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics -> %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	if !strings.Contains(body, "sdpcm_mc_write_ops_total 7") {
+		t.Fatalf("/metrics body missing counter:\n%s", body)
+	}
+
+	code, body, hdr = get(t, ts.URL+"/progress")
+	if code != http.StatusOK || hdr.Get("Content-Type") != "application/json" {
+		t.Fatalf("/progress -> %d %q", code, hdr.Get("Content-Type"))
+	}
+	var ps ProgressSnapshot
+	if err := json.Unmarshal([]byte(body), &ps); err != nil {
+		t.Fatalf("/progress not JSON: %v", err)
+	}
+	if ps.PointsDone != 1 || len(ps.Experiments) != 1 || ps.Experiments[0].Name != "fig11" {
+		t.Fatalf("/progress = %+v", ps)
+	}
+
+	code, body, _ = get(t, ts.URL+"/events")
+	if code != http.StatusOK {
+		t.Fatalf("/events -> %d", code)
+	}
+	var ep eventsPayload
+	if err := json.Unmarshal([]byte(body), &ep); err != nil {
+		t.Fatalf("/events not JSON: %v", err)
+	}
+	if len(ep.Events) != 2 {
+		t.Fatalf("/events returned %d events, want 2", len(ep.Events))
+	}
+
+	// ?n= keeps the newest tail and accounts for the trim in Dropped.
+	code, body, _ = get(t, ts.URL+"/events?n=1")
+	if code != http.StatusOK {
+		t.Fatalf("/events?n=1 -> %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &ep); err != nil {
+		t.Fatal(err)
+	}
+	if len(ep.Events) != 1 || ep.Events[0].Kind != metrics.EvWDFlushed || ep.Dropped != 1 {
+		t.Fatalf("/events?n=1 = %+v", ep)
+	}
+
+	if code, _, _ := get(t, ts.URL+"/events?n=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("/events?n=bogus -> %d, want 400", code)
+	}
+	if code, _, _ := get(t, ts.URL+"/"); code != http.StatusOK {
+		t.Fatalf("/ -> %d", code)
+	}
+	if code, _, _ := get(t, ts.URL+"/nope"); code != http.StatusNotFound {
+		t.Fatalf("/nope -> %d, want 404", code)
+	}
+	if code, _, _ := get(t, ts.URL+"/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline -> %d", code)
+	}
+}
+
+func TestServerBeforeFirstSnapshot(t *testing.T) {
+	_, ts := testServer(t)
+	code, body, _ := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK || body != "" {
+		t.Fatalf("empty /metrics -> %d %q", code, body)
+	}
+	code, body, _ = get(t, ts.URL+"/events")
+	if code != http.StatusOK {
+		t.Fatalf("empty /events -> %d", code)
+	}
+	var ep eventsPayload
+	if err := json.Unmarshal([]byte(body), &ep); err != nil {
+		t.Fatal(err)
+	}
+	if ep.Events == nil {
+		t.Fatal("/events must serve an empty array, not null")
+	}
+}
+
+func TestServerStartClose(t *testing.T) {
+	s := NewServer()
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, _, _ := get(t, "http://"+addr+"/progress")
+	if code != http.StatusOK {
+		t.Fatalf("/progress over real listener -> %d", code)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/progress"); err == nil {
+		t.Fatal("server still serving after Close")
+	}
+}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"sdpcm/internal/runner"
+)
+
+// fakeClock returns a fixed time until tick advances it, so Snapshot reads
+// never perturb the inter-completion intervals the EWMA measures.
+type fakeClock struct {
+	t time.Time
+}
+
+func (c *fakeClock) now() time.Time       { return c.t }
+func (c *fakeClock) tick(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestProgress() (*Progress, *fakeClock) {
+	c := &fakeClock{t: time.Unix(1000, 0)}
+	p := NewProgress()
+	p.now = c.now
+	return p, c
+}
+
+func TestProgressCounts(t *testing.T) {
+	p, c := newTestProgress()
+	p.Begin("fig11")
+	for i := 0; i < 5; i++ {
+		c.tick(time.Second)
+		ev := runner.PointEvent{Index: i, Total: 5}
+		switch i {
+		case 1, 2:
+			ev.Cached = true
+		case 4:
+			ev.Err = errors.New("boom")
+		}
+		p.PointDone(ev)
+	}
+	s := p.Snapshot()
+	if s.PointsDone != 5 || s.PointsCached != 2 || s.PointsErrored != 1 {
+		t.Fatalf("totals = %+v", s)
+	}
+	if len(s.Experiments) != 1 {
+		t.Fatalf("experiments = %+v", s.Experiments)
+	}
+	e := s.Experiments[0]
+	if e.Name != "fig11" || e.Total != 5 || e.Done != 5 || e.Cached != 2 || e.Errored != 1 {
+		t.Fatalf("experiment = %+v", e)
+	}
+	if s.ElapsedSeconds != 5 {
+		t.Fatalf("elapsed = %v, want 5", s.ElapsedSeconds)
+	}
+}
+
+func TestProgressAnonymousSection(t *testing.T) {
+	p, c := newTestProgress()
+	c.tick(time.Second)
+	p.PointDone(runner.PointEvent{Total: 3})
+	s := p.Snapshot()
+	if len(s.Experiments) != 1 || s.Experiments[0].Name != "sweep" {
+		t.Fatalf("expected an anonymous sweep section, got %+v", s.Experiments)
+	}
+}
+
+func TestProgressRateAndETA(t *testing.T) {
+	// One point per second: the EWMA must converge to 1/s and the ETA must
+	// fall monotonically as the section drains at a constant pace.
+	p, c := newTestProgress()
+	p.Begin("fig12")
+	var lastETA float64
+	for i := 0; i < 20; i++ {
+		c.tick(time.Second)
+		p.PointDone(runner.PointEvent{Index: i, Total: 40})
+		s := p.Snapshot()
+		if s.RatePerSec <= 0 {
+			t.Fatalf("rate = %v after %d points", s.RatePerSec, i+1)
+		}
+		if i > 0 && s.ETASeconds >= lastETA {
+			t.Fatalf("ETA not monotone at point %d: %v -> %v", i, lastETA, s.ETASeconds)
+		}
+		lastETA = s.ETASeconds
+	}
+	s := p.Snapshot()
+	if s.RatePerSec < 0.99 || s.RatePerSec > 1.01 {
+		t.Fatalf("EWMA rate = %v, want ~1/s", s.RatePerSec)
+	}
+	// 20 of 40 points remain at 1/s.
+	if s.ETASeconds < 19 || s.ETASeconds > 21 {
+		t.Fatalf("ETA = %vs, want ~20s", s.ETASeconds)
+	}
+}
+
+func TestProgressCachedBurstDoesNotBlowUpRate(t *testing.T) {
+	// Cached points complete back-to-back with ~zero interval; the dt floor
+	// must keep the rate finite.
+	p, c := newTestProgress()
+	p.Begin("fig13")
+	c.tick(time.Second)
+	for i := 0; i < 10; i++ {
+		p.PointDone(runner.PointEvent{Index: i, Total: 10, Cached: true})
+	}
+	s := p.Snapshot()
+	if s.RatePerSec <= 0 || s.RatePerSec != s.RatePerSec { // NaN check
+		t.Fatalf("rate = %v", s.RatePerSec)
+	}
+}
+
+func TestProgressETAZeroWhenSectionDone(t *testing.T) {
+	p, c := newTestProgress()
+	p.Begin("fig13")
+	for i := 0; i < 3; i++ {
+		c.tick(time.Second)
+		p.PointDone(runner.PointEvent{Index: i, Total: 3})
+	}
+	if eta := p.Snapshot().ETASeconds; eta != 0 {
+		t.Fatalf("ETA = %v after the section finished, want 0", eta)
+	}
+}
+
+func TestProgressNewSectionResetsETA(t *testing.T) {
+	p, c := newTestProgress()
+	p.Begin("a")
+	c.tick(time.Second)
+	p.PointDone(runner.PointEvent{Total: 100})
+	if p.Snapshot().ETASeconds == 0 {
+		t.Fatal("mid-section ETA should be positive")
+	}
+	p.Begin("b")
+	// The new, empty section has no Total yet, so nothing remains to estimate.
+	if eta := p.Snapshot().ETASeconds; eta != 0 {
+		t.Fatalf("fresh section ETA = %v, want 0", eta)
+	}
+}

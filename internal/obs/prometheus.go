@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"sdpcm/internal/metrics"
+)
+
+// MetricPrefix namespaces every exported series, per the Prometheus naming
+// convention (<namespace>_<subsystem>_<name>).
+const MetricPrefix = "sdpcm_"
+
+// promName sanitizes an instrument name into a legal Prometheus metric name:
+// the registry's dotted hierarchy ("mc.read_latency") flattens to
+// underscores, and any other illegal rune is replaced the same way.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString(MetricPrefix)
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders a metrics snapshot in the Prometheus text
+// exposition format (version 0.0.4): counters as `<name>_total`, gauges
+// bare, histograms as cumulative `_bucket{le=...}` series plus `_sum` and
+// `_count`. The snapshot's name-sorted ordering carries through, so equal
+// snapshots render byte-identically. A nil snapshot renders nothing (an
+// empty exposition is valid).
+//
+// The `_total` counter suffix is not only idiomatic — it also keeps the raw
+// counter `mc.read_latency_sum` from colliding with the `_sum` series of the
+// `mc.read_latency` histogram.
+func WritePrometheus(w io.Writer, s *metrics.Snapshot) error {
+	if s == nil {
+		return nil
+	}
+	for _, c := range s.Counters {
+		name := promName(c.Name) + "_total"
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		name := promName(g.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		name := promName(h.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		var cum uint64
+		for i, n := range h.Counts {
+			cum += n
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = fmt.Sprintf("%d", h.Bounds[i])
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, h.Sum, name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

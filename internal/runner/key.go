@@ -24,6 +24,11 @@ func Key(cfg sim.Config, hardErrorLifetime float64) (string, bool) {
 	if cfg.Scheme.HardErrorFn != nil && hardErrorLifetime <= 0 {
 		return "", false
 	}
+	if cfg.OnSnapshot != nil {
+		// A snapshot callback is a live side effect: serving a memoized
+		// result would silently skip every mid-run publication.
+		return "", false
+	}
 	var b strings.Builder
 	s := cfg.Scheme
 	fmt.Fprintf(&b, "scheme=%q|layout=%q:%d:%d|lazy=%t|preread=%t|wc=%t|ecp=%d|tag=%d:%d|",
@@ -38,7 +43,8 @@ func Key(cfg sim.Config, hardErrorLifetime float64) (string, bool) {
 	fmt.Fprintf(&b, "|refs=%d|mem=%d|region=%d|wq=%d|seed=%d|psi=%d|mutate=%g|integrity=%t|",
 		cfg.RefsPerCore, cfg.MemPages, cfg.RegionPages, cfg.WriteQueueCap,
 		cfg.Seed, cfg.WearLevelPsi, cfg.MutateChunkProb, cfg.CheckIntegrity)
-	fmt.Fprintf(&b, "metrics=%t|trace=%d|", cfg.CollectMetrics, cfg.TraceEvents)
+	fmt.Fprintf(&b, "metrics=%t|trace=%d|heat=%d|snap=%d|",
+		cfg.CollectMetrics, cfg.TraceEvents, cfg.HeatmapRegions, cfg.SnapshotInterval)
 	fmt.Fprintf(&b, "coretags=%d", len(cfg.CoreTags))
 	for _, t := range cfg.CoreTags {
 		fmt.Fprintf(&b, ",%d:%d", t.N, t.M)

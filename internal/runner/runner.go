@@ -42,6 +42,10 @@ type Base struct {
 	// memoize separately.
 	CollectMetrics bool
 	TraceEvents    int
+	// HeatmapRegions enables the WD spatial heatmap on every point (per
+	// bank × line-region accumulation in sim.Result.Heatmap). Part of the
+	// cache key, like the other observability toggles.
+	HeatmapRegions int
 }
 
 func (b Base) normalized() Base {
@@ -92,6 +96,7 @@ func (s Spec) Resolve(b Base) sim.Config {
 		Seed:           b.Seed,
 		CollectMetrics: b.CollectMetrics,
 		TraceEvents:    b.TraceEvents,
+		HeatmapRegions: b.HeatmapRegions,
 	}
 }
 

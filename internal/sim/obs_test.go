@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"testing"
+
+	"sdpcm/internal/core"
+	"sdpcm/internal/metrics"
+	"sdpcm/internal/wd"
+)
+
+func TestSnapshotIntervalPublishesMidRun(t *testing.T) {
+	cfg := quickCfg(core.LazyCPreRead(6), "mcf")
+	cfg.SnapshotInterval = 20000
+	var snaps []*metrics.Snapshot
+	cfg.OnSnapshot = func(s *metrics.Snapshot) { snaps = append(snaps, s) }
+	r := run(t, cfg)
+	if r.Metrics == nil {
+		t.Fatal("SnapshotInterval alone should enable collection")
+	}
+	// At least one mid-run publication plus the final one.
+	if len(snaps) < 2 {
+		t.Fatalf("got %d snapshots, want >= 2 (mid-run + final)", len(snaps))
+	}
+	final := snaps[len(snaps)-1]
+	if !final.Equal(r.Metrics) {
+		t.Fatal("last publication must be the final snapshot")
+	}
+	// Cumulative counters must be monotone across publications and strictly
+	// below the final value mid-run (the run makes steady write traffic).
+	var prev uint64
+	for i, s := range snaps {
+		w := s.Counter("mc.write_ops")
+		if w < prev {
+			t.Fatalf("mc.write_ops went backwards at snapshot %d: %d -> %d", i, prev, w)
+		}
+		prev = w
+	}
+	if first := snaps[0].Counter("mc.write_ops"); first >= final.Counter("mc.write_ops") {
+		t.Fatalf("first snapshot write_ops %d not below final %d", first, final.Counter("mc.write_ops"))
+	}
+	// Mid-run snapshots carry the live cycle gauge.
+	if snaps[0].Gauge("sim.cycles") == 0 {
+		t.Fatal("mid-run snapshot missing sim.cycles")
+	}
+	if snaps[0].Gauge("sim.cycles") >= final.Gauge("sim.cycles") {
+		t.Fatal("mid-run cycle gauge should precede the final one")
+	}
+}
+
+func TestSnapshotIntervalDoesNotPerturbResults(t *testing.T) {
+	base := run(t, quickCfg(core.LazyCPreRead(6), "mcf"))
+	cfg := quickCfg(core.LazyCPreRead(6), "mcf")
+	cfg.SnapshotInterval = 10000
+	cfg.OnSnapshot = func(*metrics.Snapshot) {}
+	obs := run(t, cfg)
+	if base.Cycles != obs.Cycles || base.MC != obs.MC || base.WD != obs.WD {
+		t.Fatal("mid-run snapshotting must not change simulation results")
+	}
+}
+
+func TestHeatmapCollected(t *testing.T) {
+	cfg := quickCfg(core.LazyCPreRead(6), "mcf")
+	cfg.HeatmapRegions = 8
+	r := run(t, cfg)
+	h := r.Heatmap
+	if h == nil {
+		t.Fatal("HeatmapRegions set but Result.Heatmap nil")
+	}
+	if h.Regions != 8 || len(h.Cells) != h.Banks {
+		t.Fatalf("bad heatmap shape: banks=%d regions=%d rows=%d", h.Banks, h.Regions, len(h.Cells))
+	}
+	// A write-heavy LazyC+PreRead run must actually disturb something.
+	if h.Total(func(c wd.HeatCell) uint64 { return c.Injected }) == 0 {
+		t.Fatal("no injected bit-line flips recorded in the heatmap")
+	}
+	if h.Total(func(c wd.HeatCell) uint64 { return c.Flushed }) == 0 {
+		t.Fatal("no flushed cells recorded in the heatmap")
+	}
+	// The heatmap must agree with the engine's own injected-flip counter.
+	if got, want := h.Total(func(c wd.HeatCell) uint64 { return c.Injected }), r.WD.BitLineFlips; got != want {
+		t.Fatalf("heatmap injected = %d, WD.BitLineFlips = %d", got, want)
+	}
+}
+
+func TestHeatmapDisabledByDefault(t *testing.T) {
+	r := run(t, quickCfg(core.LazyCPreRead(6), "mcf"))
+	if r.Heatmap != nil {
+		t.Fatal("heatmap must be nil unless HeatmapRegions is set")
+	}
+}

@@ -78,6 +78,21 @@ type Config struct {
 	// issue/forward/hit, write-cancel preemptions, queue enqueue/stall/
 	// drain) in Result.Metrics.Events. Implies metrics collection.
 	TraceEvents int
+	// HeatmapRegions, when positive, accumulates the WD spatial heatmap:
+	// injected bit-line flips, LazyCorrection parks and correction writes
+	// per bank × line-region (each bank's rows tiled into this many equal
+	// regions), exported as Result.Heatmap. Independent of CollectMetrics.
+	HeatmapRegions int
+	// SnapshotInterval, when positive, invokes OnSnapshot with a mid-run
+	// metrics snapshot every SnapshotInterval simulated cycles, so live
+	// observers (the -listen HTTP server) see gauges move while a long run
+	// is in flight. Implies metrics collection. The published snapshots are
+	// deterministic; only their wall-clock arrival varies.
+	SnapshotInterval uint64
+	// OnSnapshot receives each mid-run snapshot (and, when set, a final one
+	// just before Run returns). Called on the simulation goroutine — cheap
+	// handlers only; publish-to-server callbacks should just swap a pointer.
+	OnSnapshot func(*metrics.Snapshot)
 	// CheckIntegrity maintains a shadow copy of every line the cores write
 	// and verifies — on every read and again after the final flush — that
 	// the memory system returns exactly what was stored, i.e. that no
@@ -131,6 +146,11 @@ type Result struct {
 	// event-trace tail. Nil unless Config.CollectMetrics or
 	// Config.TraceEvents enabled collection.
 	Metrics *metrics.Snapshot
+
+	// Heatmap is the WD spatial accumulation (Config.HeatmapRegions > 0):
+	// per bank × line-region injected flips, parked errors and cascade
+	// activity. Nil when disabled.
+	Heatmap *wd.HeatmapSnapshot
 }
 
 // CorrectionsPerWrite is the Figure 12 metric.
@@ -241,10 +261,15 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	var reg *metrics.Registry
-	if cfg.CollectMetrics || cfg.TraceEvents > 0 {
+	if cfg.CollectMetrics || cfg.TraceEvents > 0 || cfg.SnapshotInterval > 0 {
 		reg = metrics.New()
 		reg.EnableTrace(cfg.TraceEvents)
 		ctrl.Instrument(reg)
+	}
+	var hm *wd.Heatmap
+	if cfg.HeatmapRegions > 0 {
+		hm = wd.NewHeatmap(cfg.HeatmapRegions, dev.RowsPerBank)
+		ctrl.InstrumentHeatmap(hm)
 	}
 	type coreSrc struct {
 		stream trace.Stream
@@ -313,6 +338,41 @@ func Run(cfg Config) (Result, error) {
 		return wl.MapAddr(a)
 	}
 	res := Result{Scheme: cfg.Scheme.Name, Mix: mixName}
+
+	// liveSnapshot assembles a mid-run snapshot at simulated cycle now: the
+	// module Stats structs (normally published once at end of run) are
+	// rendered into a scratch registry and merged with the live registry's
+	// histograms and event tail. Deterministic like the final snapshot.
+	liveSnapshot := func(now uint64) *metrics.Snapshot {
+		tmp := metrics.New()
+		ctrl.Stats.Publish(tmp)
+		dev.Stats.Publish(tmp)
+		ctrl.ECP().Stats.Publish(tmp)
+		ctrl.Engine().Stats.Publish(tmp)
+		var instrs, tlb, faults uint64
+		for _, c := range cores {
+			instrs += c.instrs
+			tlb += c.as.TLB.Misses
+			faults += c.as.Faults
+		}
+		tmp.Counter("sim.instructions").Add(instrs)
+		tmp.Counter("sim.tlb_misses").Add(tlb)
+		tmp.Counter("sim.page_faults").Add(faults)
+		var moves uint64
+		if wl != nil {
+			moves = wl.Moves
+		}
+		tmp.Counter("sim.wear_moves").Add(moves)
+		tmp.Gauge("sim.cycles").Set(now)
+		live := reg.Snapshot()
+		s := tmp.Snapshot().Merge(live)
+		s.Events = live.Events
+		s.EventsDropped = live.EventsDropped
+		return s
+	}
+	snapshotting := cfg.SnapshotInterval > 0 && cfg.OnSnapshot != nil
+	nextSnap := cfg.SnapshotInterval
+
 	for h.Len() > 0 {
 		c := h[0]
 		rec, ok := c.stream.Next()
@@ -357,6 +417,12 @@ func Run(cfg Config) (Result, error) {
 		} else {
 			heap.Fix(&h, 0)
 		}
+		if snapshotting && c.time >= nextSnap {
+			cfg.OnSnapshot(liveSnapshot(c.time))
+			for nextSnap <= c.time {
+				nextSnap += cfg.SnapshotInterval
+			}
+		}
 	}
 
 	var maxEnd uint64
@@ -400,7 +466,11 @@ func Run(cfg Config) (Result, error) {
 		reg.Counter("sim.wear_moves").Add(res.WearMoves)
 		reg.Gauge("sim.cycles").Set(res.Cycles)
 		res.Metrics = reg.Snapshot()
+		if cfg.OnSnapshot != nil {
+			cfg.OnSnapshot(res.Metrics)
+		}
 	}
+	res.Heatmap = hm.Snapshot()
 	return res, nil
 }
 

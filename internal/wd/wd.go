@@ -68,6 +68,7 @@ type Engine struct {
 
 	rnd *rng.Rand
 	tr  *metrics.Trace
+	hm  *Heatmap
 }
 
 // New builds an engine with the given per-axis disturbance probabilities.
@@ -78,6 +79,11 @@ func New(rates thermal.Rates, rnd *rng.Rand) *Engine {
 // Instrument attaches an event trace; injected bit-line errors are emitted
 // as EvWDInjected events. A nil trace leaves the engine silent.
 func (e *Engine) Instrument(tr *metrics.Trace) { e.tr = tr }
+
+// InstrumentHeatmap attaches a spatial heatmap; injected bit-line flips are
+// accumulated per bank × line-region. A nil heatmap leaves the engine
+// unchanged (the disabled form records nothing).
+func (e *Engine) InstrumentHeatmap(h *Heatmap) { e.hm = h }
 
 // Outcome reports the disturbance consequences of one line write.
 type Outcome struct {
@@ -212,6 +218,7 @@ func (e *Engine) bitLineFlips(dev *pcm.Device, neighbour pcm.LineAddr, aggressor
 	if n > 0 {
 		dev.Disturb(neighbour, flips)
 		e.Stats.BitLineFlips += uint64(n)
+		e.hm.RecordInjected(neighbour, n)
 		if e.tr != nil {
 			e.tr.Emit(e.Now, metrics.EvWDInjected, uint64(neighbour), uint64(n), 0)
 		}

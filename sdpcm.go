@@ -46,11 +46,13 @@ import (
 	"sdpcm/internal/experiments"
 	"sdpcm/internal/geometry"
 	"sdpcm/internal/metrics"
+	"sdpcm/internal/obs"
 	"sdpcm/internal/runner"
 	"sdpcm/internal/sim"
 	"sdpcm/internal/stats"
 	"sdpcm/internal/thermal"
 	"sdpcm/internal/trace"
+	"sdpcm/internal/wd"
 	"sdpcm/internal/workload"
 )
 
@@ -143,6 +145,62 @@ type MetricsEventKind = metrics.EventKind
 
 // MetricsHistogramPoint is one exported fixed-bucket distribution.
 type MetricsHistogramPoint = metrics.HistogramPoint
+
+// Live observability re-exports (internal/obs): an HTTP server exposing
+// /metrics (Prometheus text exposition), /progress (sweep progress JSON),
+// /events (the event-ring tail) and /debug/pprof/ while a run or sweep is
+// in flight, plus offline exporters for Perfetto timelines and the WD
+// spatial heatmap. The sdpcm-sim and sdpcm-bench -listen flags wire these
+// up; library users compose them directly.
+
+// ObsServer serves the live observability endpoints; publish snapshots with
+// SetSnapshot (assignable to SimConfig.OnSnapshot) and feed its Progress
+// tracker from a sweep observer chain.
+type ObsServer = obs.Server
+
+// NewObsServer builds an observability server with an empty snapshot and a
+// fresh progress tracker.
+func NewObsServer() *ObsServer { return obs.NewServer() }
+
+// ObsProgress tracks sweep progress (points done/cached/errored, EWMA point
+// rate, ETA); it implements SweepObserver.
+type ObsProgress = obs.Progress
+
+// ObsProgressSnapshot is the /progress JSON payload.
+type ObsProgressSnapshot = obs.ProgressSnapshot
+
+// WritePerfetto converts an event-trace tail (SimResult.Metrics.Events)
+// into Chrome trace-event JSON loadable in ui.perfetto.dev: one track per
+// PCM bank, queue drains as duration slices, WD and PreRead decision points
+// as instants.
+func WritePerfetto(w io.Writer, events []MetricsEvent) error {
+	return obs.WritePerfetto(w, events)
+}
+
+// WritePrometheus renders a metrics snapshot in the Prometheus text
+// exposition format.
+func WritePrometheus(w io.Writer, s *MetricsSnapshot) error {
+	return obs.WritePrometheus(w, s)
+}
+
+// HeatmapSnapshot is the WD spatial heatmap export: per bank × line-region
+// injected flips, parked errors and cascade activity. Enable via
+// SimConfig.HeatmapRegions (or ExperimentOptions.HeatmapRegions) and read
+// it from SimResult.Heatmap; merge sweep points with Merge.
+type HeatmapSnapshot = wd.HeatmapSnapshot
+
+// HeatCell is one bank × line-region bucket of the heatmap.
+type HeatCell = wd.HeatCell
+
+// WriteHeatmapTable renders the heatmap as fixed-width ASCII tables.
+func WriteHeatmapTable(w io.Writer, s *HeatmapSnapshot) error {
+	return obs.WriteHeatmapTable(w, s)
+}
+
+// WriteHeatmapJSON writes the heatmap as indented JSON.
+func WriteHeatmapJSON(w io.Writer, s *HeatmapSnapshot) error {
+	return obs.WriteHeatmapJSON(w, s)
+}
 
 // MixSpec names the per-core benchmarks of a multi-programmed workload.
 type MixSpec = workload.MixSpec
