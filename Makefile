@@ -41,5 +41,6 @@ bench-record:
 lint:
 	$(GO) vet ./...
 	test -z "$$(gofmt -l .)"
+	$(GO) run ./scripts/archcheck.go
 
 ci: build lint race check-golden bench obs-smoke

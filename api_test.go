@@ -1,8 +1,11 @@
 package sdpcm_test
 
 import (
+	"flag"
 	"fmt"
 	"math"
+	"os"
+	"strings"
 	"testing"
 
 	"sdpcm"
@@ -199,5 +202,87 @@ func TestPublicMetricsSurviveMemoCache(t *testing.T) {
 		if !snap.Equal(second[key]) {
 			t.Errorf("cached snapshot for %s differs from the original", key)
 		}
+	}
+}
+
+// TestPublicSchemeRegistry exercises the registry surface: every listed
+// name resolves to a valid scheme, and the imdb plugin — registered via
+// the facade's blank import, never a controller edit — runs end to end.
+func TestPublicSchemeRegistry(t *testing.T) {
+	names := sdpcm.SchemeNames()
+	if len(names) < 14 {
+		t.Fatalf("SchemeNames() = %v, want the 13 built-ins plus imdb", names)
+	}
+	for _, n := range names {
+		s, err := sdpcm.SchemeByName(n, 0)
+		if err != nil {
+			t.Fatalf("SchemeByName(%q): %v", n, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", n, err)
+		}
+	}
+	if _, err := sdpcm.SchemeByName("imdb", 0); err != nil {
+		t.Fatalf("imdb plugin not registered: %v", err)
+	}
+	s, _ := sdpcm.SchemeByName("imdb", 0)
+	res, err := sdpcm.Run(sdpcm.SimConfig{
+		Scheme:         s,
+		Mix:            sdpcm.HomogeneousMix("mcf", 4),
+		RefsPerCore:    2500,
+		MemPages:       1 << 16,
+		RegionPages:    1024,
+		Seed:           5,
+		CheckIntegrity: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MC.LazyRecords == 0 {
+		t.Fatal("imdb barrier absorbed nothing")
+	}
+}
+
+var updateReadme = flag.Bool("update-readme", false, "rewrite README.md's registry-generated scheme table")
+
+// TestReadmeSchemeTable keeps README.md's scheme table in sync with the
+// live registry. Regenerate with:
+//
+//	go test -run TestReadmeSchemeTable -update-readme
+func TestReadmeSchemeTable(t *testing.T) {
+	const begin, end = "<!-- schemes:begin -->", "<!-- schemes:end -->"
+	var b strings.Builder
+	b.WriteString(begin + "\n")
+	b.WriteString("| registry name | aliases | scheme |\n|---|---|---|\n")
+	for _, n := range sdpcm.SchemeNames() {
+		s, err := sdpcm.SchemeByName(n, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aliases := strings.Join(sdpcm.SchemeAliases(n), ", ")
+		fmt.Fprintf(&b, "| `%s` | %s | %s |\n", n, aliases, s.Name)
+	}
+	b.WriteString(end)
+	want := b.String()
+
+	raw, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readme := string(raw)
+	i := strings.Index(readme, begin)
+	j := strings.Index(readme, end)
+	if i < 0 || j < i {
+		t.Fatalf("README.md lacks the %s/%s markers", begin, end)
+	}
+	got := readme[i : j+len(end)]
+	if got == want {
+		return
+	}
+	if !*updateReadme {
+		t.Fatalf("README.md scheme table is stale; regenerate with:\n\tgo test -run TestReadmeSchemeTable -update-readme\nwant:\n%s\ngot:\n%s", want, got)
+	}
+	if err := os.WriteFile("README.md", []byte(readme[:i]+want+readme[j+len(end):]), 0o644); err != nil {
+		t.Fatal(err)
 	}
 }

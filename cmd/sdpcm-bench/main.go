@@ -112,6 +112,7 @@ func main() {
 		cores    = flag.Int("cores", 8, "cores in the CMP")
 		seed     = flag.Uint64("seed", 42, "root random seed")
 		bench    = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all of Table 3)")
+		schemes  = flag.String("schemes", "", "comma-separated scheme roster override for fig11/fig19 (registry names; default: the published roster)")
 		memMB    = flag.Int("mem-mb", 512, "simulated PCM capacity in MB")
 		region   = flag.Int("region-pages", 1024, "(n:m) marking-region size in pages (paper: 16384 = 64MB)")
 		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = all cores, 1 = sequential; results are identical)")
@@ -158,6 +159,17 @@ func main() {
 				os.Exit(2)
 			}
 			opts.Benchmarks = append(opts.Benchmarks, b)
+		}
+	}
+	if *schemes != "" {
+		for _, s := range strings.Split(*schemes, ",") {
+			s = strings.TrimSpace(s)
+			if _, err := sdpcm.SchemeByName(s, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "sdpcm-bench: %v (usage: -schemes %s)\n",
+					err, strings.Join(sdpcm.SchemeNames(), "|"))
+				os.Exit(2)
+			}
+			opts.Schemes = append(opts.Schemes, s)
 		}
 	}
 	counts := &tally{}

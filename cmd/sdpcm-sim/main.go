@@ -19,45 +19,9 @@ import (
 	"sdpcm"
 )
 
-func schemeByName(name string, ecp int) (sdpcm.Scheme, error) {
-	switch strings.ToLower(name) {
-	case "din":
-		return sdpcm.DIN(), nil
-	case "wdfree", "wd-free", "prototype":
-		return sdpcm.WDFree(), nil
-	case "baseline", "vnc":
-		return sdpcm.Baseline(), nil
-	case "lazyc":
-		return sdpcm.LazyC(ecp), nil
-	case "preread":
-		return sdpcm.PreReadOnly(), nil
-	case "lazyc+preread":
-		return sdpcm.LazyCPreRead(ecp), nil
-	case "1:2":
-		return sdpcm.NMAlloc(sdpcm.Tag12), nil
-	case "2:3":
-		return sdpcm.NMAlloc(sdpcm.Tag23), nil
-	case "3:4":
-		return sdpcm.NMAlloc(sdpcm.Tag34), nil
-	case "lazyc+2:3":
-		return sdpcm.LazyCNM(ecp, sdpcm.Tag23), nil
-	case "all", "lazyc+preread+2:3":
-		return sdpcm.AllThree(ecp, sdpcm.Tag23), nil
-	case "wc":
-		return sdpcm.WC(), nil
-	case "wc+lazyc":
-		return sdpcm.WCLazyC(ecp), nil
-	default:
-		return sdpcm.Scheme{}, fmt.Errorf("unknown scheme %q", name)
-	}
-}
-
-// schemeNames is the -scheme vocabulary, for usage hints.
-const schemeNames = "din|wdfree|baseline|lazyc|preread|lazyc+preread|1:2|2:3|3:4|lazyc+2:3|all|wc|wc+lazyc"
-
 func main() {
 	var (
-		scheme  = flag.String("scheme", "lazyc+preread", "scheme: "+schemeNames)
+		scheme  = flag.String("scheme", "lazyc+preread", "scheme: "+strings.Join(sdpcm.SchemeNames(), "|"))
 		bench   = flag.String("bench", "lbm", "Table 3 benchmark name")
 		refs    = flag.Int("refs", 20000, "main-memory references per core")
 		cores   = flag.Int("cores", 8, "cores")
@@ -77,9 +41,10 @@ func main() {
 	)
 	flag.Parse()
 
-	s, err := schemeByName(*scheme, *ecp)
+	s, err := sdpcm.SchemeByName(*scheme, *ecp)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sdpcm-sim: %v (usage: -scheme %s)\n", err, schemeNames)
+		fmt.Fprintf(os.Stderr, "sdpcm-sim: %v (usage: -scheme %s)\n",
+			err, strings.Join(sdpcm.SchemeNames(), "|"))
 		os.Exit(2)
 	}
 	if *metricf != "" && *metricf != "json" && *metricf != "table" {

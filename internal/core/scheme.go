@@ -43,6 +43,18 @@ type Scheme struct {
 	// "fnw" (Flip-N-Write [7], for the encoding ablation) or "none"
 	// (raw storage, exposes unmitigated word-line WD).
 	Encoding string
+	// Policy, when set, post-processes the assembled controller
+	// configuration — the hook plugin schemes use to install their own
+	// policy values (internal/imdb's in-module barrier is the worked
+	// example). MCConfig calls it once per invocation and the hook must
+	// install fresh policy state each call, so concurrent runs of the same
+	// Scheme stay independent.
+	Policy func(*mc.Config)
+	// PolicyKey is the declarative identity of the Policy hook for result
+	// memoization (e.g. "imdb:8"). A scheme with a Policy but no PolicyKey
+	// is not cacheable — an opaque func pointer says nothing about its
+	// behaviour (same rule as HardErrorFn).
+	PolicyKey string
 }
 
 // Rates returns the layout's disturbance probabilities at the paper's
@@ -69,20 +81,33 @@ func (s Scheme) MCConfig(writeQueueCap int) mc.Config {
 	default:
 		panic(fmt.Sprintf("core: unknown encoding %q", s.Encoding))
 	}
-	return mc.Config{
+	cfg := mc.Config{
 		Encoder:         enc,
 		Rates:           s.Rates(),
 		VerifyNeighbors: s.NeedsVnC(),
-		LazyCorrection:  s.LazyCorrection,
+		Correction:      mc.EagerCorrection(),
 		ECPEntries:      s.ECPEntries,
-		PreRead:         s.PreRead,
-		WriteCancel:     s.WriteCancel,
+		Preread:         mc.NoPreread(),
+		Drain:           mc.BurstyDrain(),
 		WriteQueueCap:   writeQueueCap,
 		UseDIN:          true,
 		ChargeVerify:    !s.NoVerifyCharge,
 		ChargeCorrect:   !s.NoCorrectCharge,
 		HardErrorFn:     s.HardErrorFn,
 	}
+	if s.LazyCorrection {
+		cfg.Correction = mc.LazyECP()
+	}
+	if s.PreRead {
+		cfg.Preread = mc.IdleSlotPreread()
+	}
+	if s.WriteCancel {
+		cfg.Drain = mc.WriteCancelDrain()
+	}
+	if s.Policy != nil {
+		s.Policy(&cfg)
+	}
+	return cfg
 }
 
 // Validate reports configuration errors.

@@ -5,6 +5,7 @@ import (
 
 	"sdpcm/internal/alloc"
 	"sdpcm/internal/geometry"
+	"sdpcm/internal/mc"
 )
 
 func TestRosterValidates(t *testing.T) {
@@ -60,7 +61,7 @@ func TestNeedsVnC(t *testing.T) {
 func TestMCConfigTranslation(t *testing.T) {
 	s := AllThree(6, alloc.Tag23)
 	cfg := s.MCConfig(16)
-	if !cfg.VerifyNeighbors || !cfg.LazyCorrection || !cfg.PreRead {
+	if !cfg.VerifyNeighbors || cfg.Correction != mc.LazyECP() || cfg.Preread != mc.IdleSlotPreread() {
 		t.Errorf("config = %+v", cfg)
 	}
 	if cfg.ECPEntries != 6 || cfg.WriteQueueCap != 16 {

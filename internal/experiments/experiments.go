@@ -19,6 +19,7 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 
 	"sdpcm/internal/alloc"
 	"sdpcm/internal/core"
@@ -44,6 +45,11 @@ type Options struct {
 	RegionPages int
 	// Benchmarks to sweep (default: all of Table 3).
 	Benchmarks []string
+	// Schemes overrides the scheme roster of the figures that take one
+	// (Fig11, Fig19), as registry names resolved through core.ByName at
+	// DefaultECPEntries. The baseline is prepended when absent — every
+	// figure normalises to it. Empty keeps each figure's published roster.
+	Schemes []string
 	// Seed for reproducibility.
 	Seed uint64
 	// CollectMetrics enables the observability layer on every simulation
@@ -120,6 +126,33 @@ func (o Options) exec() *runner.Runner {
 // cache deduplicates points across figures.
 func NewRunner(o Options) *runner.Runner {
 	return &runner.Runner{Workers: o.Parallel, NoCache: o.NoCache, Observer: o.Observer}
+}
+
+// roster resolves Options.Schemes through the scheme registry, keeping
+// def (the figure's published roster) when no override is set. The
+// baseline is prepended when the override omits it: the figures report
+// speedup normalised to basic VnC.
+func (o Options) roster(def []core.Scheme) ([]core.Scheme, error) {
+	if len(o.Schemes) == 0 {
+		return def, nil
+	}
+	out := make([]core.Scheme, 0, len(o.Schemes)+1)
+	haveBase := false
+	for _, name := range o.Schemes {
+		s, err := core.ByName(name, core.DefaultECPEntries)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w (registered: %s)",
+				err, strings.Join(core.Names(), "|"))
+		}
+		if s.Name == core.Baseline().Name {
+			haveBase = true
+		}
+		out = append(out, s)
+	}
+	if !haveBase {
+		out = append([]core.Scheme{core.Baseline()}, out...)
+	}
+	return out, nil
 }
 
 // rosterSpecs declares a scheme-roster × benchmark grid, tagging each point
@@ -234,7 +267,10 @@ func Fig5(o Options) (*stats.Table, error) {
 // the basic-VnC baseline (bigger is better), per benchmark plus gmean.
 func Fig11(o Options) (*stats.Table, error) {
 	o = o.normalized()
-	roster := core.Figure11Roster()
+	roster, err := o.roster(core.Figure11Roster())
+	if err != nil {
+		return nil, err
+	}
 	specs := rosterSpecs(o.Benchmarks, roster)
 	res, err := o.exec().Run(o.base(), specs)
 	if err != nil {
@@ -489,11 +525,14 @@ func Fig18(o Options) (*stats.Table, error) {
 // to the VnC baseline.
 func Fig19(o Options) (*stats.Table, error) {
 	o = o.normalized()
-	roster := []core.Scheme{
+	roster, err := o.roster([]core.Scheme{
 		core.Baseline(),
 		core.WC(),
 		core.LazyC(core.DefaultECPEntries),
 		core.WCLazyC(core.DefaultECPEntries),
+	})
+	if err != nil {
+		return nil, err
 	}
 	specs := rosterSpecs(o.Benchmarks, roster)
 	res, err := o.exec().Run(o.base(), specs)

@@ -1,0 +1,148 @@
+package imdb
+
+import (
+	"testing"
+
+	"sdpcm/internal/core"
+	"sdpcm/internal/mc"
+	"sdpcm/internal/pcm"
+	"sdpcm/internal/sim"
+	"sdpcm/internal/workload"
+)
+
+// The barrier must satisfy the correction-policy interface plus every
+// optional extension the controller probes for.
+var (
+	_ mc.CorrectionPolicy = (*Barrier)(nil)
+	_ mc.ReadOverrider    = (*Barrier)(nil)
+	_ mc.WriteObserver    = (*Barrier)(nil)
+	_ mc.Drainer          = (*Barrier)(nil)
+)
+
+func maskOf(bits ...int) pcm.Mask {
+	var m pcm.Mask
+	for _, b := range bits {
+		m[b/64] |= 1 << (b % 64)
+	}
+	return m
+}
+
+// Absorption and coalescing never touch the controller, so a zero
+// PolicyContext suffices while the buffer has room.
+func TestAbsorbCoalesces(t *testing.T) {
+	w := New(4)
+	a := pcm.LineOf(5, 3)
+	if cyc, ok := w.Absorb(mc.PolicyContext{}, a, maskOf(1, 2), []int{1, 2}, 0); !ok || cyc != 0 {
+		t.Fatalf("first absorb = (%d, %v)", cyc, ok)
+	}
+	if cyc, ok := w.Absorb(mc.PolicyContext{}, a, maskOf(2, 7), []int{2, 7}, 0); !ok || cyc != 0 {
+		t.Fatalf("coalescing absorb = (%d, %v)", cyc, ok)
+	}
+	if w.Buffered() != 1 {
+		t.Fatalf("buffered = %d, want 1 (same line coalesces)", w.Buffered())
+	}
+	if w.Coalesced != 1 {
+		t.Fatalf("coalesced = %d", w.Coalesced)
+	}
+	var line pcm.Line
+	for i := range line {
+		line[i] = ^uint64(0)
+	}
+	got := w.OverrideRead(a, line)
+	want := maskOf(1, 2, 7)
+	for i := range got {
+		if got[i] != ^uint64(0)&^want[i] {
+			t.Fatalf("override word %d = %#x", i, got[i])
+		}
+	}
+	// Other lines pass through untouched.
+	other := w.OverrideRead(pcm.LineOf(5, 4), line)
+	if other != line {
+		t.Fatal("override mutated an unbuffered line")
+	}
+}
+
+func TestObserveWriteDropsEntry(t *testing.T) {
+	w := New(4)
+	a := pcm.LineOf(9, 0)
+	w.Absorb(mc.PolicyContext{}, a, maskOf(3), []int{3}, 0)
+	w.ObserveWrite(a)
+	if w.Buffered() != 0 {
+		t.Fatalf("buffered = %d after superseding write", w.Buffered())
+	}
+	// Dropping an un-buffered line is a no-op.
+	w.ObserveWrite(a)
+}
+
+func TestBufferFillsAcrossBanks(t *testing.T) {
+	w := New(2)
+	// Pages i land in bank i%NumBanks: same-bank lines share one buffer.
+	for i := 0; i < 2; i++ {
+		w.Absorb(mc.PolicyContext{}, pcm.LineOf(pcm.PageAddr(i*pcm.NumBanks), 0), maskOf(i), []int{i}, 0)
+	}
+	if w.Buffered() != 2 {
+		t.Fatalf("buffered = %d", w.Buffered())
+	}
+	// A different bank has its own empty buffer.
+	w.Absorb(mc.PolicyContext{}, pcm.LineOf(1, 0), maskOf(0), []int{0}, 0)
+	if w.Buffered() != 3 {
+		t.Fatalf("buffered = %d", w.Buffered())
+	}
+}
+
+// A full sim run with a tiny buffer forces evictions and flush drains;
+// CheckIntegrity proves no disturbance error escapes the barrier — reads
+// see corrected data while repairs are buffered, and the final drain
+// leaves the array clean.
+func TestBarrierIntegrityUnderLoad(t *testing.T) {
+	w := New(1) // every second same-bank victim evicts
+	s := Scheme(0, 1)
+	s.Policy = func(cfg *mc.Config) { cfg.Correction = w }
+	res, err := sim.Run(sim.Config{
+		Scheme:         s,
+		Mix:            workload.HomogeneousMix("mcf", 4),
+		RefsPerCore:    4000,
+		MemPages:       1 << 16,
+		RegionPages:    1024,
+		WriteQueueCap:  8,
+		Seed:           42,
+		CheckIntegrity: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MC.LazyRecords == 0 {
+		t.Fatal("barrier absorbed nothing; workload too gentle for the test")
+	}
+	if w.Evictions == 0 {
+		t.Fatal("single-entry buffer never evicted; eviction path untested")
+	}
+	if w.Buffered() != 0 {
+		t.Fatalf("%d repairs still buffered after flush", w.Buffered())
+	}
+}
+
+// The registered scheme must resolve by name and alias and run end-to-end.
+func TestRegisteredScheme(t *testing.T) {
+	for _, name := range []string{"imdb", "barrier", "IMDB"} {
+		s, err := core.ByName(name, 0)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if s.Name != "IMDB" || s.PolicyKey != "imdb:8" || s.Policy == nil {
+			t.Fatalf("ByName(%q) = %+v", name, s)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	found := false
+	for _, n := range core.Names() {
+		if n == "imdb" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("imdb missing from Names() = %v", core.Names())
+	}
+}

@@ -1,0 +1,84 @@
+package mc
+
+import (
+	"testing"
+
+	"sdpcm/internal/alloc"
+	"sdpcm/internal/pcm"
+	"sdpcm/internal/rng"
+)
+
+// BenchmarkWritePath measures the hot write path with VnC on: posted writes
+// at a rate that keeps the queue busy, so background drains, bursty drains
+// and the full executeWrite flow (pre-reads, program, verify, correct) all
+// run. The sub-benchmarks cover each policy stack; the numbers guard the
+// cost of the policy-interface indirection (must stay within noise of the
+// direct-call implementation).
+func BenchmarkWritePath(b *testing.B) {
+	variants := []struct {
+		name string
+		cfg  Config
+	}{
+		{"vnc", baselineCfg()},
+		{"lazyc6", func() Config {
+			c := baselineCfg()
+			c.Correction = LazyECP()
+			c.ECPEntries = 6
+			return c
+		}()},
+		{"lazyc6+preread", func() Config {
+			c := baselineCfg()
+			c.Correction = LazyECP()
+			c.ECPEntries = 6
+			c.Preread = IdleSlotPreread()
+			return c
+		}()},
+		{"wc+lazyc6", func() Config {
+			c := baselineCfg()
+			c.Correction = LazyECP()
+			c.ECPEntries = 6
+			c.Drain = WriteCancelDrain()
+			return c
+		}()},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			cfg := v.cfg
+			cfg.WriteQueueCap = 8
+			d, err := pcm.NewDevice(pcm.Config{Pages: testPages, FillSeed: 7})
+			if err != nil {
+				b.Fatal(err)
+			}
+			a, err := alloc.New(testPages, 128)
+			if err != nil {
+				b.Fatal(err)
+			}
+			c, err := New(cfg, d, a, rng.New(99))
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Pre-generate a deterministic request stream so generation cost
+			// stays out of the measured loop.
+			rnd := rng.New(3)
+			const n = 4096
+			addrs := make([]pcm.LineAddr, n)
+			datas := make([]pcm.Line, n)
+			for i := range addrs {
+				addrs[i] = pcm.LineOf(pcm.PageAddr(rnd.Intn(256)), rnd.Intn(64))
+				for w := range datas[i] {
+					datas[i][w] = rnd.Uint64()
+				}
+			}
+			var clock uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				j := i % n
+				c.Write(clock, addrs[j], datas[j])
+				clock += 700
+			}
+			b.StopTimer()
+			c.Flush(clock)
+		})
+	}
+}

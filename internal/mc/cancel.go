@@ -1,0 +1,35 @@
+package mc
+
+import (
+	"sdpcm/internal/metrics"
+	"sdpcm/internal/pcm"
+)
+
+// WriteCancelDrain returns the §6.8 [22] full-queue policy: the drain runs
+// lazily — ops execute as simulated time passes and demand reads preempt
+// the drain at write-op boundaries instead of waiting for the whole burst.
+func WriteCancelDrain() DrainPolicy { return writeCancelDrain{} }
+
+type writeCancelDrain struct{}
+
+// onFull marks the bank draining (catch-up retires ops as time passes) and
+// makes room for the incoming write now.
+func (writeCancelDrain) onFull(c *Controller, b *bank, now uint64) {
+	b.draining = true
+	for len(b.wq) >= c.cfg.WriteQueueCap {
+		c.Stats.BurstOps++
+		c.executeNext(b, true)
+	}
+}
+
+// onRead counts a demand read that preempts an in-flight drain: the read
+// waits only for the in-flight op (write cancellation / pausing); remaining
+// drain work resumes after the read.
+func (writeCancelDrain) onRead(c *Controller, b *bank, now uint64, addr pcm.LineAddr) {
+	if b.draining && b.freeAt > now {
+		c.Stats.ReadPreemptions++
+		if c.tr != nil {
+			c.tr.Emit(now, metrics.EvWriteCancel, uint64(addr), uint64(len(b.wq)), 0)
+		}
+	}
+}

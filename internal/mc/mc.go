@@ -10,6 +10,14 @@
 // resources (`freeAt`); queued write work executes lazily as simulated time
 // passes it, which lets write cancellation preempt a drain at write-op
 // granularity without rolling back device state.
+//
+// The write path is decomposed into pluggable policies, with the Encoder
+// interface as the model: CorrectionPolicy decides what happens to detected
+// WD errors (correction.go), PrereadScheduler manages the §4.3 pre-write
+// reads (preread.go) and DrainPolicy picks the full-queue strategy
+// (queue.go, cancel.go). The controller core — queue bookkeeping (queue.go)
+// and operation timing (timing.go) — calls the policies only through their
+// interfaces, so a new scheme plugs in without touching either file.
 package mc
 
 import (
@@ -36,18 +44,24 @@ type Config struct {
 	// WD-free bit-lines (DIN's 8F² layout or the 12F² prototype), where
 	// writes need no adjacent-line handling.
 	VerifyNeighbors bool
-	// LazyCorrection parks detected WD errors in free ECP entries instead
-	// of immediately rewriting the disturbed line (§4.2).
-	LazyCorrection bool
+	// Correction resolves the WD errors that verification detects:
+	// EagerCorrection rewrites the disturbed line immediately, LazyECP parks
+	// the errors in free ECP entries (§4.2). Nil selects eager. Stateful
+	// policies must not be shared between controllers — core.Scheme builds a
+	// fresh value per MCConfig call.
+	Correction CorrectionPolicy
 	// ECPEntries is N of ECP-N (6 by default in the paper). Zero entries
-	// with LazyCorrection on degenerates to basic VnC.
+	// with LazyECP degenerates to basic VnC.
 	ECPEntries int
-	// PreRead issues the two pre-write reads from the write queue during
-	// bank idle slots (§4.3).
-	PreRead bool
-	// WriteCancel lets demand reads preempt a write burst at write-op
-	// boundaries instead of waiting for the whole drain (§6.8 [22]).
-	WriteCancel bool
+	// Preread schedules the two pre-write reads of §4.3: IdleSlotPreread
+	// issues them from the write queue during bank idle slots, NoPreread
+	// leaves them to the write op itself. Nil selects none.
+	Preread PrereadScheduler
+	// Drain picks the full-queue strategy: BurstyDrain flushes to the
+	// watermark blocking the bank (§5.1), WriteCancelDrain lets demand reads
+	// preempt the drain at write-op boundaries (§6.8 [22]). Nil selects
+	// bursty.
+	Drain DrainPolicy
 	// WriteQueueCap is the per-bank write queue capacity (32 in Table 2).
 	WriteQueueCap int
 	// LowWatermark is the queue depth background draining drains down to:
@@ -85,6 +99,15 @@ func (c Config) normalized() Config {
 	if c.Timing == (pcm.Timing{}) {
 		c.Timing = pcm.DefaultTiming
 	}
+	if c.Correction == nil {
+		c.Correction = EagerCorrection()
+	}
+	if c.Preread == nil {
+		c.Preread = NoPreread()
+	}
+	if c.Drain == nil {
+		c.Drain = BurstyDrain()
+	}
 	if c.WriteQueueCap <= 0 {
 		c.WriteQueueCap = 32
 	}
@@ -120,7 +143,7 @@ type Stats struct {
 	VerifyReads      uint64 // pre+post adjacent-line reads at write ops
 	CascadeReads     uint64 // verification reads triggered by corrections
 	CorrectionWrites uint64
-	LazyRecords      uint64 // error batches absorbed by ECP without correction
+	LazyRecords      uint64 // error batches absorbed by the correction policy
 	CascadeTruncated uint64 // cascades cut by MaxCascadeDepth
 
 	ReadPreemptions uint64 // reads that preempted a drain (write cancellation)
@@ -148,38 +171,6 @@ type Encoder interface {
 	Forget(a pcm.LineAddr)
 }
 
-// prOp is an in-flight PreRead occupying bank time; cancellable by a demand
-// read until its end time passes.
-type prOp struct {
-	start, end uint64
-	entryID    uint64
-	top        bool
-}
-
-// writeEntry is one write-queue slot (Fig. 8: address, data, two PreRead
-// flag bits and two 64 B buffers).
-type writeEntry struct {
-	id         uint64
-	addr       pcm.LineAddr
-	data       pcm.Line // decoded new content
-	enqueuedAt uint64
-
-	verifyTop, verifyBelow bool
-	top, below             pcm.LineAddr
-	topOK, belowOK         bool
-
-	prTop, prBelow   bool
-	bufTop, bufBelow pcm.Line
-}
-
-// bank is one PCM bank's scheduling state.
-type bank struct {
-	freeAt   uint64
-	wq       []*writeEntry
-	draining bool
-	prereads []prOp
-}
-
 // Controller is the memory controller for one DIMM.
 type Controller struct {
 	cfg    Config
@@ -188,6 +179,13 @@ type Controller struct {
 	codec  Encoder
 	engine *wd.Engine
 	region *alloc.Allocator
+
+	// Optional CorrectionPolicy extensions, resolved once at construction so
+	// the hot paths pay a nil check instead of a type assertion. All nil for
+	// the built-in policies.
+	readOverride  ReadOverrider
+	writeObserver WriteObserver
+	drainer       Drainer
 
 	banks  []bank
 	nextID uint64
@@ -225,7 +223,7 @@ func New(cfg Config, dev *pcm.Device, region *alloc.Allocator, rnd *rng.Rand) (*
 	if region == nil {
 		return nil, fmt.Errorf("mc: nil allocator")
 	}
-	return &Controller{
+	c := &Controller{
 		cfg:    cfg,
 		dev:    dev,
 		ecp:    table,
@@ -233,7 +231,11 @@ func New(cfg Config, dev *pcm.Device, region *alloc.Allocator, rnd *rng.Rand) (*
 		engine: wd.New(cfg.Rates, rnd.SplitLabeled("mc:wd")),
 		region: region,
 		banks:  make([]bank, pcm.NumBanks),
-	}, nil
+	}
+	c.readOverride, _ = cfg.Correction.(ReadOverrider)
+	c.writeObserver, _ = cfg.Correction.(WriteObserver)
+	c.drainer, _ = cfg.Correction.(Drainer)
+	return c, nil
 }
 
 // Instrument attaches the controller and its subcomponents (disturbance
@@ -273,10 +275,16 @@ func (c *Controller) ECP() *ecp.Table { return c.ecp }
 func (c *Controller) Engine() *wd.Engine { return c.engine }
 
 // PeekData returns the current logical content of a line: raw array bits,
-// ECP-corrected, DIN-decoded. It models the data the LLC would hold and is
-// used by the simulator to build write-back payloads.
+// ECP-corrected, policy-corrected (when the correction policy buffers
+// pending repairs, e.g. the in-module barrier), DIN-decoded. It models the
+// data the LLC would hold and is used by the simulator to build write-back
+// payloads.
 func (c *Controller) PeekData(a pcm.LineAddr) pcm.Line {
-	return c.codec.Decode(a, c.ecp.CorrectRead(a, c.dev.Peek(a)))
+	line := c.ecp.CorrectRead(a, c.dev.Peek(a))
+	if c.readOverride != nil {
+		line = c.readOverride.OverrideRead(a, line)
+	}
+	return c.codec.Decode(a, line)
 }
 
 // LatestData returns the freshest logical content of a line, checking the
@@ -289,319 +297,4 @@ func (c *Controller) LatestData(a pcm.LineAddr) pcm.Line {
 		return e.data
 	}
 	return c.PeekData(a)
-}
-
-func maxU64(a, b uint64) uint64 {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-// catchUp advances a bank's lazy work to time t: completed prereads are
-// retired, and (under a drain) queued write ops whose start time has passed
-// are executed. At most one op ends past t (the in-flight op).
-func (c *Controller) catchUp(b *bank, t uint64) {
-	// Retire completed prereads.
-	keep := b.prereads[:0]
-	for _, p := range b.prereads {
-		if p.end > t {
-			keep = append(keep, p)
-		}
-	}
-	b.prereads = keep
-	for len(b.wq) > 0 && b.freeAt <= t && (b.draining || len(b.wq) > c.cfg.LowWatermark) {
-		c.Stats.BackgroundOps++
-		c.executeNext(b, false)
-		if b.draining && len(b.wq) <= c.cfg.LowWatermark {
-			b.draining = false
-		}
-	}
-	if b.draining && len(b.wq) <= c.cfg.LowWatermark {
-		b.draining = false
-	}
-	// Any idle time left after draining goes to pending pre-reads (§4.3:
-	// "a PreRead operation often has the opportunity to be issued when its
-	// associated memory bank is idle").
-	if c.cfg.PreRead {
-		c.issuePrereads(b, t)
-	}
-}
-
-// executeNext pops the oldest write entry and runs its full VnC write op,
-// advancing freeAt. Work cannot start before the write arrived. burst marks
-// ops retired inside a full-queue drain (trace attribution only).
-func (c *Controller) executeNext(b *bank, burst bool) {
-	e := b.wq[0]
-	b.wq = b.wq[1:]
-	if b.freeAt < e.enqueuedAt {
-		b.freeAt = e.enqueuedAt
-	}
-	if c.tr != nil {
-		var bf uint64
-		if burst {
-			bf = 1
-		}
-		c.tr.Emit(b.freeAt, metrics.EvQueueDrain, uint64(e.addr), b.freeAt-e.enqueuedAt, bf)
-	}
-	c.queueRes.Observe(b.freeAt - e.enqueuedAt)
-	d := c.executeWrite(b, e)
-	b.freeAt += uint64(d)
-}
-
-// findEntry locates a queued write to addr.
-func (b *bank) findEntry(addr pcm.LineAddr) *writeEntry {
-	for _, e := range b.wq {
-		if e.addr == addr {
-			return e
-		}
-	}
-	return nil
-}
-
-// cancelPrereads aborts in-flight prereads (end > t): demand reads have
-// priority (§4.3). Bank time is rolled back to the first canceled start —
-// prereads are always the newest work on the bank.
-func (c *Controller) cancelPrereads(b *bank, t uint64) {
-	if len(b.prereads) == 0 {
-		return
-	}
-	rollback := b.freeAt
-	keep := b.prereads[:0]
-	for _, p := range b.prereads {
-		if p.end <= t {
-			keep = append(keep, p)
-			continue
-		}
-		c.Stats.PreReadsCanceled++
-		if p.start < rollback {
-			rollback = p.start
-		}
-		if e := b.findEntryByID(p.entryID); e != nil {
-			var victim pcm.LineAddr
-			if p.top {
-				e.prTop = false
-				victim = e.top
-			} else {
-				e.prBelow = false
-				victim = e.below
-			}
-			if c.tr != nil {
-				c.tr.Emit(t, metrics.EvPreReadCanceled, uint64(victim), p.entryID, 0)
-			}
-		}
-	}
-	b.prereads = keep
-	if rollback < b.freeAt {
-		b.freeAt = rollback
-	}
-}
-
-func (b *bank) findEntryByID(id uint64) *writeEntry {
-	for _, e := range b.wq {
-		if e.id == id {
-			return e
-		}
-	}
-	return nil
-}
-
-// Read services a demand read arriving at `now`. It returns the cycle the
-// data is available and the (ECP-corrected, decoded) line content.
-func (c *Controller) Read(now uint64, addr pcm.LineAddr) (uint64, pcm.Line) {
-	c.Stats.DemandReads++
-	loc := pcm.Locate(addr)
-	b := &c.banks[loc.Bank]
-	// Write-queue forwarding: the freshest value lives in the queue.
-	if e := b.findEntry(addr); e != nil {
-		c.Stats.ForwardedReads++
-		done := now + uint64(c.cfg.ForwardCycles)
-		c.Stats.ReadLatencySum += uint64(c.cfg.ForwardCycles)
-		c.readLat.Observe(uint64(c.cfg.ForwardCycles))
-		return done, e.data
-	}
-	c.catchUp(b, now)
-	if b.draining && c.cfg.WriteCancel && b.freeAt > now {
-		// The read waits only for the in-flight op (write cancellation /
-		// pausing); remaining drain work resumes after the read.
-		c.Stats.ReadPreemptions++
-		if c.tr != nil {
-			c.tr.Emit(now, metrics.EvWriteCancel, uint64(addr), uint64(len(b.wq)), 0)
-		}
-	}
-	c.cancelPrereads(b, now)
-	start := maxU64(now, b.freeAt)
-	data := c.PeekData(addr)
-	c.dev.Stats.Reads++ // demand array read
-	done := start + uint64(c.cfg.Timing.ReadCycles)
-	b.freeAt = done
-	c.Stats.ReadCycles += uint64(c.cfg.Timing.ReadCycles)
-	c.Stats.ReadLatencySum += done - now
-	c.Stats.ReadWaitSum += start - now
-	c.readLat.Observe(done - now)
-	return done, data
-}
-
-// Write buffers a write-back arriving at `now` (posted: the core does not
-// stall). A full queue triggers the bursty drain of §5.1; under write
-// cancellation the drain runs lazily and reads may preempt it.
-func (c *Controller) Write(now uint64, addr pcm.LineAddr, data pcm.Line) {
-	c.Stats.WriteRequests++
-	loc := pcm.Locate(addr)
-	b := &c.banks[loc.Bank]
-	c.catchUp(b, now)
-	if e := b.findEntry(addr); e != nil {
-		// Coalesce: update in place; pre-read state is unaffected.
-		e.data = data
-		c.Stats.Coalesced++
-		return
-	}
-	if len(b.wq) >= c.cfg.WriteQueueCap {
-		c.Stats.Drains++
-		if c.tr != nil {
-			c.tr.Emit(now, metrics.EvQueueStall, uint64(addr), uint64(len(b.wq)), 0)
-		}
-		if b.freeAt < now {
-			b.freeAt = now
-		}
-		if c.cfg.WriteCancel {
-			// Lazy drain: ops execute as time passes and reads may preempt
-			// at op boundaries; make room for the incoming write now.
-			b.draining = true
-			for len(b.wq) >= c.cfg.WriteQueueCap {
-				c.Stats.BurstOps++
-				c.executeNext(b, true)
-			}
-		} else {
-			// Bursty drain (§5.1): flush to the watermark, blocking this
-			// bank's reads for the whole burst.
-			for len(b.wq) > c.cfg.LowWatermark {
-				c.Stats.BurstOps++
-				c.executeNext(b, true)
-			}
-		}
-	}
-	e := c.newEntry(addr, data)
-	e.enqueuedAt = now
-	b.wq = append(b.wq, e)
-	c.queueDepth.Observe(uint64(len(b.wq)))
-	if c.tr != nil {
-		c.tr.Emit(now, metrics.EvQueueEnqueue, uint64(addr), uint64(len(b.wq)), 0)
-	}
-	if c.cfg.PreRead {
-		c.issuePrereads(b, now)
-	}
-}
-
-// newEntry builds a write-queue entry, resolving the (n:m) verification
-// decisions for its two bit-line neighbours.
-func (c *Controller) newEntry(addr pcm.LineAddr, data pcm.Line) *writeEntry {
-	c.nextID++
-	e := &writeEntry{id: c.nextID, addr: addr, data: data}
-	e.top, e.below, e.topOK, e.belowOK = pcm.AdjacentLines(addr, c.dev.RowsPerBank)
-	vt, vb := c.verifySides(addr.Page())
-	e.verifyTop = vt && e.topOK
-	e.verifyBelow = vb && e.belowOK
-	return e
-}
-
-// verifySides applies §4.4: which bit-line neighbours of a write to this
-// page hold data and need VnC. With VerifyNeighbors off (WD-free bit-lines)
-// nothing is verified.
-func (c *Controller) verifySides(p pcm.PageAddr) (top, below bool) {
-	if !c.cfg.VerifyNeighbors {
-		return false, false
-	}
-	tag := c.region.RegionTag(p)
-	s := c.region.StripIndexInRegion(p)
-	return tag.VerifyNeighbors(s, c.region.StripsPerRegion())
-}
-
-// issuePrereads uses bank idle time at `now` to perform pending pre-write
-// reads for queued entries (§4.3). Neighbours present in the write queue are
-// forwarded from their entry buffers at no bank cost.
-func (c *Controller) issuePrereads(b *bank, now uint64) {
-	idle := b.freeAt <= now && !b.draining
-	for _, e := range b.wq {
-		if e.verifyTop && !e.prTop {
-			idle = c.issueOnePreread(b, e, true, now, idle)
-		}
-		if e.verifyBelow && !e.prBelow {
-			idle = c.issueOnePreread(b, e, false, now, idle)
-		}
-	}
-}
-
-// issueOnePreread services one pending pre-write read. Forwarding from a
-// queued write to the neighbour costs no bank time and happens regardless of
-// bank state; a device read requires the idle grant. Returns whether further
-// device reads may still be issued in this batch.
-func (c *Controller) issueOnePreread(b *bank, e *writeEntry, top bool, now uint64, idle bool) bool {
-	neighbour := e.top
-	if !top {
-		neighbour = e.below
-	}
-	// Forward from the queue when the neighbour line has a pending write:
-	// by the time this entry executes, the queue (FIFO) will have written
-	// it, so the buffered data is the authoritative old content (§4.3).
-	if other := b.findEntry(neighbour); other != nil {
-		if top {
-			e.prTop, e.bufTop = true, other.data
-		} else {
-			e.prBelow, e.bufBelow = true, other.data
-		}
-		c.Stats.PreReadsForwarded++
-		if c.tr != nil {
-			c.tr.Emit(now, metrics.EvPreReadForwarded, uint64(neighbour), e.id, 0)
-		}
-		return idle
-	}
-	if !idle {
-		return false
-	}
-	start := maxU64(b.freeAt, now)
-	end := start + uint64(c.cfg.Timing.ReadCycles)
-	buf := c.dev.Read(neighbour)
-	if top {
-		e.prTop, e.bufTop = true, buf
-	} else {
-		e.prBelow, e.bufBelow = true, buf
-	}
-	b.freeAt = end
-	b.prereads = append(b.prereads, prOp{start: start, end: end, entryID: e.id, top: top})
-	c.Stats.PreReadsIssued++
-	if c.tr != nil {
-		c.tr.Emit(start, metrics.EvPreReadIssued, uint64(neighbour), e.id, 0)
-	}
-	return true
-}
-
-// Flush drains every bank completely (end of simulation or checkpoint) and
-// returns the cycle all work finishes.
-func (c *Controller) Flush(now uint64) uint64 {
-	end := now
-	for i := range c.banks {
-		b := &c.banks[i]
-		c.catchUp(b, now)
-		if b.freeAt < now {
-			b.freeAt = now
-		}
-		for len(b.wq) > 0 {
-			c.executeNext(b, false)
-		}
-		b.draining = false
-		if b.freeAt > end {
-			end = b.freeAt
-		}
-	}
-	return end
-}
-
-// QueueOccupancy returns the total buffered writes (for tests/monitoring).
-func (c *Controller) QueueOccupancy() int {
-	n := 0
-	for i := range c.banks {
-		n += len(c.banks[i].wq)
-	}
-	return n
 }

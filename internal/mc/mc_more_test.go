@@ -35,7 +35,7 @@ func TestHardErrorsForceCorrections(t *testing.T) {
 	// park WD errors: LazyC degenerates to eager correction.
 	mk := func(hard int) *testRig {
 		cfg := baselineCfg()
-		cfg.LazyCorrection = true
+		cfg.Correction = LazyECP()
 		cfg.ECPEntries = 6
 		cfg.WriteQueueCap = 2
 		cfg.HardErrorFn = func(pcm.LineAddr) int { return hard }
@@ -69,7 +69,7 @@ func TestReadReturnsECPCorrectedData(t *testing.T) {
 	// though the array still holds flipped cells. A zero-filled device and
 	// a three-RESET aggressor keep the error count within ECP-6.
 	cfg := baselineCfg()
-	cfg.LazyCorrection = true
+	cfg.Correction = LazyECP()
 	cfg.ECPEntries = 6
 	cfg.Rates.BitLine = 1.0 // make disturbance certain
 	cfg.WriteQueueCap = 1
@@ -116,7 +116,7 @@ func TestReadReturnsECPCorrectedData(t *testing.T) {
 
 func TestFlushCompletesLazyDrain(t *testing.T) {
 	cfg := baselineCfg()
-	cfg.WriteCancel = true
+	cfg.Drain = WriteCancelDrain()
 	cfg.WriteQueueCap = 4
 	cfg.LowWatermark = 1
 	r := newRig(t, cfg)
@@ -142,7 +142,7 @@ func TestFlushCompletesLazyDrain(t *testing.T) {
 
 func TestCoalescingPreservesPrereadState(t *testing.T) {
 	cfg := baselineCfg()
-	cfg.PreRead = true
+	cfg.Preread = IdleSlotPreread()
 	cfg.WriteQueueCap = 8
 	r := newRig(t, cfg)
 	addr := pcm.LineOf(100, 0)
@@ -195,7 +195,7 @@ func TestDeviceReadAccounting(t *testing.T) {
 	// Every architectural read the controller performs must be visible in
 	// the device counters: demand + verification + cascade + prereads.
 	cfg := baselineCfg()
-	cfg.PreRead = true
+	cfg.Preread = IdleSlotPreread()
 	cfg.WriteQueueCap = 4
 	r := newRig(t, cfg)
 	rnd := rng.New(8)

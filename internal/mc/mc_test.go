@@ -252,7 +252,9 @@ func TestCorrectionsHappenWithoutECP(t *testing.T) {
 func TestLazyCorrectionReducesCorrections(t *testing.T) {
 	run := func(lazy bool, entries int) (corrections, ops uint64) {
 		cfg := baselineCfg()
-		cfg.LazyCorrection = lazy
+		if lazy {
+			cfg.Correction = LazyECP()
+		}
 		cfg.ECPEntries = entries
 		cfg.WriteQueueCap = 4
 		r := newRig(t, cfg)
@@ -287,25 +289,25 @@ func TestDataIntegrityGolden(t *testing.T) {
 		{"baseline", baselineCfg()},
 		{"lazy6", func() Config {
 			c := baselineCfg()
-			c.LazyCorrection = true
+			c.Correction = LazyECP()
 			c.ECPEntries = 6
 			return c
 		}()},
 		{"lazy0", func() Config {
 			c := baselineCfg()
-			c.LazyCorrection = true
+			c.Correction = LazyECP()
 			c.ECPEntries = 0
 			return c
 		}()},
 		{"preread", func() Config {
 			c := baselineCfg()
-			c.PreRead = true
+			c.Preread = IdleSlotPreread()
 			return c
 		}()},
 		{"wc+lazy", func() Config {
 			c := baselineCfg()
-			c.WriteCancel = true
-			c.LazyCorrection = true
+			c.Drain = WriteCancelDrain()
+			c.Correction = LazyECP()
 			c.ECPEntries = 6
 			return c
 		}()},
@@ -372,7 +374,7 @@ func TestDataIntegrityGolden(t *testing.T) {
 
 func TestPreReadUsesIdleBanks(t *testing.T) {
 	cfg := baselineCfg()
-	cfg.PreRead = true
+	cfg.Preread = IdleSlotPreread()
 	cfg.WriteQueueCap = 8
 	r := newRig(t, cfg)
 	// Write with a long quiet period: prereads issue immediately at
@@ -394,7 +396,7 @@ func TestPreReadUsesIdleBanks(t *testing.T) {
 
 func TestPreReadCanceledByDemandRead(t *testing.T) {
 	cfg := baselineCfg()
-	cfg.PreRead = true
+	cfg.Preread = IdleSlotPreread()
 	r := newRig(t, cfg)
 	r.c.Write(0, pcm.LineOf(100, 0), lineWith(1)) // prereads start at 0
 	// Demand read to the same bank 100 cycles later: both prereads are
@@ -410,7 +412,7 @@ func TestPreReadCanceledByDemandRead(t *testing.T) {
 
 func TestPreReadForwardsFromQueue(t *testing.T) {
 	cfg := baselineCfg()
-	cfg.PreRead = true
+	cfg.Preread = IdleSlotPreread()
 	cfg.WriteQueueCap = 8
 	r := newRig(t, cfg)
 	top := pcm.LineOf(100, 0)
@@ -427,7 +429,9 @@ func TestPreReadForwardsFromQueue(t *testing.T) {
 func TestWriteCancellationPreemptsDrain(t *testing.T) {
 	mkRig := func(wc bool) (*testRig, uint64) {
 		cfg := baselineCfg()
-		cfg.WriteCancel = wc
+		if wc {
+			cfg.Drain = WriteCancelDrain()
+		}
 		cfg.WriteQueueCap = 8
 		cfg.LowWatermark = 2
 		r := newRig(t, cfg)
@@ -535,9 +539,9 @@ func TestDeterminism(t *testing.T) {
 		}
 		a, _ := alloc.New(testPages, 128)
 		cfg := baselineCfg()
-		cfg.LazyCorrection = true
+		cfg.Correction = LazyECP()
 		cfg.ECPEntries = 6
-		cfg.PreRead = true
+		cfg.Preread = IdleSlotPreread()
 		cfg.WriteQueueCap = 4
 		c, err := New(cfg, r, a, rng.New(1))
 		if err != nil {

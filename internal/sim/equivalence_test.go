@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sdpcm/internal/core"
+	"sdpcm/internal/workload"
+)
+
+var updateEquivalence = flag.Bool("update-equivalence", false,
+	"rewrite testdata/equivalence.golden from the current simulator")
+
+// equivalenceFixture is the pinned pre-refactor behaviour: one fingerprint
+// per Figure 11 scheme × benchmark, covering the full Result (controller,
+// device, ECP and WD statistics, cycle counts, CPI) plus the rendered
+// metrics snapshot. Any refactor of the write path must reproduce these
+// byte-for-byte; refresh intentional simulator changes with
+//
+//	go test ./internal/sim -run TestWritePathEquivalence -update-equivalence
+const equivalenceFixture = "testdata/equivalence.golden"
+
+func equivalencePoints() []struct {
+	scheme core.Scheme
+	bench  string
+} {
+	var pts []struct {
+		scheme core.Scheme
+		bench  string
+	}
+	for _, s := range core.Figure11Roster() {
+		for _, bench := range []string{"lbm", "mcf"} {
+			pts = append(pts, struct {
+				scheme core.Scheme
+				bench  string
+			}{s, bench})
+		}
+	}
+	return pts
+}
+
+// fingerprint renders every observable field of a Result into a stable hash:
+// the flat statistics via %+v (Metrics and Heatmap pointers excluded), the
+// metrics snapshot via its deterministic JSON export.
+func fingerprint(t *testing.T, r Result) string {
+	t.Helper()
+	flat := r
+	flat.Metrics = nil
+	flat.Heatmap = nil
+	h := sha256.New()
+	fmt.Fprintf(h, "%+v\n", flat)
+	if r.Metrics != nil {
+		var buf bytes.Buffer
+		if err := r.Metrics.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		h.Write(buf.Bytes())
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+func TestWritePathEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("equivalence sweep is not short")
+	}
+	var out strings.Builder
+	for _, pt := range equivalencePoints() {
+		cfg := Config{
+			Scheme:         pt.scheme,
+			Mix:            workload.HomogeneousMix(pt.bench, 4),
+			RefsPerCore:    4000,
+			MemPages:       1 << 16,
+			RegionPages:    1024,
+			WriteQueueCap:  8,
+			Seed:           42,
+			CollectMetrics: true,
+		}
+		r := run(t, cfg)
+		fmt.Fprintf(&out, "%s|%s %s\n", pt.scheme.Name, pt.bench, fingerprint(t, r))
+	}
+	got := out.String()
+	if *updateEquivalence {
+		if err := os.MkdirAll(filepath.Dir(equivalenceFixture), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(equivalenceFixture, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(equivalenceFixture)
+	if err != nil {
+		t.Fatalf("%v (generate with -update-equivalence)", err)
+	}
+	if got == string(want) {
+		return
+	}
+	// Report the drifted points by name, not just a hash mismatch.
+	wantLines := strings.Split(strings.TrimSpace(string(want)), "\n")
+	gotLines := strings.Split(strings.TrimSpace(got), "\n")
+	if len(wantLines) != len(gotLines) {
+		t.Fatalf("fixture has %d points, run produced %d", len(wantLines), len(gotLines))
+	}
+	for i := range wantLines {
+		if wantLines[i] != gotLines[i] {
+			t.Errorf("behaviour drift at %s (fixture %s)",
+				strings.SplitN(gotLines[i], " ", 2)[0], wantLines[i])
+		}
+	}
+}

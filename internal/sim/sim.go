@@ -428,9 +428,7 @@ func Run(cfg Config) (Result, error) {
 	var maxEnd uint64
 	var cpiSum float64
 	for _, c := range cores {
-		if c.time > maxEnd {
-			maxEnd = c.time
-		}
+		maxEnd = max(maxEnd, c.time)
 		if c.instrs > 0 {
 			cpiSum += float64(c.time) / float64(c.instrs)
 		}

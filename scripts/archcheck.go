@@ -1,0 +1,237 @@
+// Command archcheck asserts the package import DAG and the mutual
+// independence of the controller's policy files. The pluggable write-path
+// architecture only stays pluggable if the dependency arrows keep pointing
+// one way: the controller core (internal/mc) must not know about the
+// layers above it, the scheme layer (internal/core) must not know about
+// the harness, and the policy implementations must not reach into each
+// other. `make lint` (and the CI lint job) runs this on every build.
+//
+// Usage: go run ./scripts/archcheck.go [repo-root]
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// forbiddenImports maps a package directory to import prefixes its non-test
+// files must not pull in. Arrows point up the stack only:
+//
+//	cmd, facade → experiments, runner, obs → sim → core, imdb → mc → device models
+var forbiddenImports = map[string][]string{
+	// The controller core is beneath the scheme/sim/harness layers; a policy
+	// interface that imported its own assembler would be circular by design.
+	"internal/mc": {
+		"sdpcm/internal/core",
+		"sdpcm/internal/sim",
+		"sdpcm/internal/experiments",
+		"sdpcm/internal/runner",
+		"sdpcm/internal/obs",
+		"sdpcm/internal/imdb",
+	},
+	// The scheme layer assembles controller configs; it must not depend on
+	// who runs them, nor on any plugin (plugins import core, never the
+	// reverse — that is what keeps the registry open).
+	"internal/core": {
+		"sdpcm/internal/sim",
+		"sdpcm/internal/experiments",
+		"sdpcm/internal/runner",
+		"sdpcm/internal/obs",
+		"sdpcm/internal/imdb",
+	},
+	// A plugin sits beside core: it may use mc and core, not the harness.
+	"internal/imdb": {
+		"sdpcm/internal/sim",
+		"sdpcm/internal/experiments",
+		"sdpcm/internal/runner",
+		"sdpcm/internal/obs",
+	},
+	// The simulator drives the controller; the harness drives the simulator.
+	"internal/sim": {
+		"sdpcm/internal/experiments",
+		"sdpcm/internal/runner",
+		"sdpcm/internal/obs",
+	},
+}
+
+// policyFiles are internal/mc's policy implementations. Each must build
+// against the controller core only: referencing a top-level name declared
+// in a sibling policy file couples two policies that are supposed to be
+// independently replaceable.
+var policyFiles = []string{"correction.go", "preread.go", "cancel.go"}
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var violations []string
+	violations = append(violations, checkImports(root)...)
+	violations = append(violations, checkPolicyIndependence(root)...)
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "archcheck: "+v)
+		}
+		os.Exit(1)
+	}
+}
+
+// checkImports parses the import clauses of every non-test file in the
+// constrained packages and reports forbidden edges.
+func checkImports(root string) []string {
+	var out []string
+	dirs := make([]string, 0, len(forbiddenImports))
+	for d := range forbiddenImports {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	for _, dir := range dirs {
+		banned := forbiddenImports[dir]
+		for _, path := range goFiles(root, dir, false) {
+			f, err := parser.ParseFile(token.NewFileSet(), path, nil, parser.ImportsOnly)
+			if err != nil {
+				out = append(out, err.Error())
+				continue
+			}
+			for _, imp := range f.Imports {
+				target, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				for _, b := range banned {
+					if target == b || strings.HasPrefix(target, b+"/") {
+						out = append(out, fmt.Sprintf("%s imports %s (forbidden: %s must stay below it)",
+							rel(root, path), target, dir))
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkPolicyIndependence parses internal/mc's policy files and reports any
+// use in one of a top-level identifier declared in another.
+func checkPolicyIndependence(root string) []string {
+	fset := token.NewFileSet()
+	parsed := map[string]*ast.File{}
+	declared := map[string]map[string]bool{} // file → top-level names
+	for _, name := range policyFiles {
+		path := filepath.Join(root, "internal/mc", name)
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return []string{err.Error()}
+		}
+		parsed[name] = f
+		declared[name] = topLevelNames(f)
+	}
+	var out []string
+	for _, user := range policyFiles {
+		// The union of names declared by the sibling policy files.
+		foreign := map[string]string{} // name → declaring file
+		for _, other := range policyFiles {
+			if other == user {
+				continue
+			}
+			for n := range declared[other] {
+				foreign[n] = other
+			}
+		}
+		for _, ref := range identUses(parsed[user]) {
+			if owner, hit := foreign[ref.Name]; hit && !declared[user][ref.Name] {
+				out = append(out, fmt.Sprintf("internal/mc/%s references %q declared in %s (policy files must be independent)",
+					user, ref.Name, owner))
+			}
+		}
+	}
+	return out
+}
+
+// topLevelNames collects a file's package-scope declarations: plain
+// functions (not methods), types, vars and consts.
+func topLevelNames(f *ast.File) map[string]bool {
+	names := map[string]bool{}
+	for _, d := range f.Decls {
+		switch d := d.(type) {
+		case *ast.FuncDecl:
+			if d.Recv == nil {
+				names[d.Name.Name] = true
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					names[s.Name.Name] = true
+				case *ast.ValueSpec:
+					for _, n := range s.Names {
+						names[n.Name] = true
+					}
+				}
+			}
+		}
+	}
+	delete(names, "_") // the blank identifier is never a reference target
+	return names
+}
+
+// identUses walks a file and returns the identifiers used as plain
+// references: selector fields/methods and composite-literal keys are
+// skipped (they resolve against a type, not the package scope).
+func identUses(f *ast.File) []*ast.Ident {
+	skip := map[*ast.Ident]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			skip[n.Sel] = true
+		case *ast.KeyValueExpr:
+			if k, ok := n.Key.(*ast.Ident); ok {
+				skip[k] = true
+			}
+		}
+		return true
+	})
+	var out []*ast.Ident
+	ast.Inspect(f, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && !skip[id] {
+			out = append(out, id)
+		}
+		return true
+	})
+	return out
+}
+
+// goFiles lists a directory's .go files, excluding tests unless asked.
+func goFiles(root, dir string, tests bool) []string {
+	entries, err := os.ReadDir(filepath.Join(root, dir))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "archcheck: %v\n", err)
+		os.Exit(1)
+	}
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		if !tests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		out = append(out, filepath.Join(root, dir, name))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func rel(root, path string) string {
+	if r, err := filepath.Rel(root, path); err == nil {
+		return r
+	}
+	return path
+}

@@ -45,6 +45,7 @@ import (
 	"sdpcm/internal/core"
 	"sdpcm/internal/experiments"
 	"sdpcm/internal/geometry"
+	_ "sdpcm/internal/imdb" // registers the in-module-barrier scheme
 	"sdpcm/internal/metrics"
 	"sdpcm/internal/obs"
 	"sdpcm/internal/runner"
@@ -113,6 +114,26 @@ var (
 
 // DefaultECPEntries is the paper's ECP provisioning (ECP-6).
 const DefaultECPEntries = core.DefaultECPEntries
+
+// Scheme registry re-exports: schemes register constructors under CLI
+// names at init time (internal/core's built-in roster; internal/imdb's
+// plugin via its blank import above) and every tool resolves -scheme
+// arguments through the registry, so a newly registered scheme appears
+// everywhere without per-tool edits.
+var (
+	// SchemeByName resolves a registered scheme name or alias
+	// (case-insensitive); ecpEntries <= 0 selects DefaultECPEntries.
+	SchemeByName = core.ByName
+	// SchemeNames lists the sorted canonical names of every registered
+	// scheme — the live -scheme vocabulary.
+	SchemeNames = core.Names
+	// SchemeAliases lists the registered aliases of a canonical name.
+	SchemeAliases = core.AliasesOf
+	// RegisterScheme adds a scheme constructor to the registry (panics on a
+	// duplicate name or alias). Library users plug new design points in
+	// exactly as internal/imdb does.
+	RegisterScheme = core.Register
+)
 
 // SimConfig configures one full-system simulation (§5.1 methodology).
 type SimConfig = sim.Config
