@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench golden check-golden bench-record obs-smoke lint ci
+.PHONY: build test race bench bench-json golden check-golden bench-record obs-smoke lint ci
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,18 @@ race:
 # still runs, not a measurement.
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# The pinned data-plane benchmark set the benchstat CI gate compares
+# against main. Parent names only: sub-benchmarks (WritePath/vnc, ...) run
+# because go test splits the -bench regex on '/'.
+BENCH_PIN = BenchmarkDevicePeek$$|BenchmarkDeviceWrite$$|BenchmarkDeviceDisturb$$|BenchmarkWDInject$$|BenchmarkWritePath$$|BenchmarkSimulatorThroughput$$
+
+# Run the pinned set three times, keep the raw text (bench.txt, what
+# benchstat consumes) and record per-benchmark medians as BENCH_5.json.
+bench-json:
+	$(GO) test -run '^$$' -bench '$(BENCH_PIN)' -benchtime 200ms -count 3 \
+		./internal/pcm ./internal/wd ./internal/mc . > bench.txt
+	$(GO) run ./scripts/benchgate -emit bench.txt > BENCH_5.json
 
 # Refresh the pinned golden tables after an intentional simulator change.
 golden:

@@ -22,10 +22,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"sdpcm"
+	"sdpcm/internal/prof"
 )
 
 type runner func(sdpcm.ExperimentOptions) (*sdpcm.ResultTable, error)
@@ -105,7 +107,12 @@ func (t *tally) reset() tally {
 	return out
 }
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main's body; it returns the exit code instead of calling os.Exit so
+// deferred cleanups (profile flushing, the observability server) run on every
+// path.
+func run() int {
 	var (
 		exp      = flag.String("exp", "all", "comma-separated experiment list, or 'all'")
 		refs     = flag.Int("refs", 6000, "main-memory references per core per run (paper: 10M)")
@@ -125,12 +132,25 @@ func main() {
 		heatTab  = flag.Bool("heatmap", false, "append the merged WD spatial heatmap (per-bank x line-region) as an ASCII table")
 		heatOut  = flag.String("heatmap-json", "", "write the merged WD spatial heatmap as JSON to this file")
 		heatReg  = flag.Int("heatmap-regions", 16, "line-regions per bank in the WD heatmap")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
+		memProf  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 
+	stopProf, err := prof.Start(prof.Flags{CPU: *cpuProf, Mem: *memProf})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sdpcm-bench: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "sdpcm-bench: %v\n", err)
+		}
+	}()
+
 	if *metricf != "" && *metricf != "json" && *metricf != "table" {
 		fmt.Fprintf(os.Stderr, "sdpcm-bench: unknown -metrics format %q (usage: -metrics json|table)\n", *metricf)
-		os.Exit(2)
+		return 2
 	}
 	opts := sdpcm.ExperimentOptions{
 		RefsPerCore:    *refs,
@@ -156,7 +176,7 @@ func main() {
 			if !known[b] {
 				fmt.Fprintf(os.Stderr, "sdpcm-bench: unknown benchmark %q (usage: -benchmarks %s)\n",
 					b, strings.Join(sdpcm.Benchmarks(), ","))
-				os.Exit(2)
+				return 2
 			}
 			opts.Benchmarks = append(opts.Benchmarks, b)
 		}
@@ -167,7 +187,7 @@ func main() {
 			if _, err := sdpcm.SchemeByName(s, 0); err != nil {
 				fmt.Fprintf(os.Stderr, "sdpcm-bench: %v (usage: -schemes %s)\n",
 					err, strings.Join(sdpcm.SchemeNames(), "|"))
-				os.Exit(2)
+				return 2
 			}
 			opts.Schemes = append(opts.Schemes, s)
 		}
@@ -184,7 +204,7 @@ func main() {
 		addr, err := srv.Start(*listen)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sdpcm-bench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "obs: listening on http://%s\n", addr)
@@ -214,7 +234,7 @@ func main() {
 		if !knownExp[name] {
 			fmt.Fprintf(os.Stderr, "sdpcm-bench: unknown experiment %q (usage: -exp all or -exp %s)\n",
 				name, strings.Join(names, ","))
-			os.Exit(2)
+			return 2
 		}
 	}
 
@@ -232,25 +252,25 @@ func main() {
 		tb, err := e.run(opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println(tb)
 		fmt.Println()
 		c := counts.reset()
 		if c.points > 0 {
-			fmt.Fprintf(os.Stderr, "(%s completed in %v: %d points, %d simulated, %d cache hits)\n",
+			fmt.Fprintf(os.Stderr, "(%s completed in %v: %d points, %d simulated, %d cache hits, %s)\n",
 				e.name, time.Since(expStart).Round(time.Millisecond),
-				c.points, c.points-c.cached, c.cached)
+				c.points, c.points-c.cached, c.cached, heapString())
 		} else {
-			fmt.Fprintf(os.Stderr, "(%s completed in %v)\n",
-				e.name, time.Since(expStart).Round(time.Millisecond))
+			fmt.Fprintf(os.Stderr, "(%s completed in %v, %s)\n",
+				e.name, time.Since(expStart).Round(time.Millisecond), heapString())
 		}
 	}
 	st := opts.Exec.Stats()
 	if st.Points > 0 {
-		fmt.Fprintf(os.Stderr, "total: %d points, %d simulated, %d cache hits, %v wall (parallel=%d)\n",
+		fmt.Fprintf(os.Stderr, "total: %d points, %d simulated, %d cache hits, %v wall (parallel=%d), %s\n",
 			st.Points, st.SimRuns, st.CacheHits,
-			time.Since(start).Round(time.Millisecond), *parallel)
+			time.Since(start).Round(time.Millisecond), *parallel, heapString())
 	}
 	if *metricf != "" {
 		var err error
@@ -261,14 +281,14 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	if *heatTab {
 		fmt.Println()
 		if err := sdpcm.WriteHeatmapTable(os.Stdout, agg.heat); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	if *heatOut != "" {
@@ -281,15 +301,26 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sdpcm-bench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	if *benchOut != "" {
 		if err := writeBenchRecord(*benchOut, ranExps, st, time.Since(start), agg.merged); err != nil {
 			fmt.Fprintf(os.Stderr, "sdpcm-bench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
+	return 0
+}
+
+// heapString summarises the process heap for the stderr stats lines: live
+// bytes after the experiment, and the OS-claimed heap high-water mark — the
+// figure that catches a memory regression long before the machine swaps.
+func heapString() string {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return fmt.Sprintf("heap %.1f MB live / %.1f MB peak",
+		float64(m.HeapAlloc)/(1<<20), float64(m.HeapSys)/(1<<20))
 }
 
 // benchRecord is the machine-readable run summary emitted by -bench-json —

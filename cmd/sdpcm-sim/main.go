@@ -17,9 +17,15 @@ import (
 	"strings"
 
 	"sdpcm"
+	"sdpcm/internal/prof"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main's body; it returns the exit code instead of calling os.Exit so
+// deferred cleanups (profile flushing, the observability server) run on every
+// path.
+func run() int {
 	var (
 		scheme  = flag.String("scheme", "lazyc+preread", "scheme: "+strings.Join(sdpcm.SchemeNames(), "|"))
 		bench   = flag.String("bench", "lbm", "Table 3 benchmark name")
@@ -38,23 +44,36 @@ func main() {
 		heatTab = flag.Bool("heatmap", false, "append the WD spatial heatmap (per-bank x line-region) as an ASCII table")
 		heatOut = flag.String("heatmap-json", "", "write the WD spatial heatmap as JSON to this file")
 		heatReg = flag.Int("heatmap-regions", 16, "line-regions per bank in the WD heatmap")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
+		memProf = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(prof.Flags{CPU: *cpuProf, Mem: *memProf})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sdpcm-sim: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "sdpcm-sim: %v\n", err)
+		}
+	}()
 
 	s, err := sdpcm.SchemeByName(*scheme, *ecp)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sdpcm-sim: %v (usage: -scheme %s)\n",
 			err, strings.Join(sdpcm.SchemeNames(), "|"))
-		os.Exit(2)
+		return 2
 	}
 	if *metricf != "" && *metricf != "json" && *metricf != "table" {
 		fmt.Fprintf(os.Stderr, "sdpcm-sim: unknown -metrics format %q (usage: -metrics json|table)\n", *metricf)
-		os.Exit(2)
+		return 2
 	}
 	if *traces == "" {
 		if _, err := sdpcm.WorkloadByName(*bench); err != nil {
 			fmt.Fprintf(os.Stderr, "sdpcm-sim: %v (usage: -bench %s)\n", err, strings.Join(sdpcm.Benchmarks(), "|"))
-			os.Exit(2)
+			return 2
 		}
 	}
 	if *perfOut != "" && *trEv <= 0 {
@@ -79,7 +98,7 @@ func main() {
 		addr, err := srv.Start(*listen)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sdpcm-sim: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "obs: listening on http://%s\n", addr)
@@ -93,7 +112,7 @@ func main() {
 		streams, err := sdpcm.LoadTraceStreams(strings.Split(*traces, ",")...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		cfg.Streams = streams
 		cfg.Mix = sdpcm.MixSpec{}
@@ -102,7 +121,7 @@ func main() {
 	res, err := sdpcm.Run(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 
 	fmt.Printf("scheme        %s\n", res.Scheme)
@@ -121,7 +140,7 @@ func main() {
 		base, err := sdpcm.Run(baseCfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("speedup       %.3f (vs basic VnC baseline, CPI %.3f)\n",
 			sdpcm.Speedup(base, res), base.CPI)
@@ -152,7 +171,7 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	if *perfOut != "" {
@@ -164,7 +183,7 @@ func main() {
 			return sdpcm.WritePerfetto(w, events)
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "sdpcm-sim: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintf(os.Stderr, "wrote Perfetto timeline to %s (open in ui.perfetto.dev)\n", *perfOut)
 	}
@@ -172,7 +191,7 @@ func main() {
 		fmt.Println()
 		if err := sdpcm.WriteHeatmapTable(os.Stdout, res.Heatmap); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	if *heatOut != "" {
@@ -180,9 +199,10 @@ func main() {
 			return sdpcm.WriteHeatmapJSON(w, res.Heatmap)
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "sdpcm-sim: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
+	return 0
 }
 
 // writeFileWith creates path, streams fill into it and surfaces the first

@@ -77,6 +77,10 @@ type Table struct {
 
 	lines map[pcm.LineAddr]*lineState
 
+	// scratch backs RecordWD's dedup pass; reused across calls so the
+	// steady-state record path allocates nothing. RecordWD is not reentrant.
+	scratch []uint16
+
 	// Occupancy histograms (nil when uninstrumented): entries in use after
 	// each successful park and at each correction-write flush — the entry
 	// pressure LazyCorrection's X+Y<=N rule lives or dies by.
@@ -178,7 +182,7 @@ func (t *Table) RecordWD(a pcm.LineAddr, cells []int) (ok bool) {
 		return true
 	}
 	s := t.state(a)
-	fresh := make([]uint16, 0, len(cells))
+	fresh := t.scratch[:0]
 	for _, c := range cells {
 		if c < 0 || c >= pcm.LineBits {
 			panic(fmt.Sprintf("ecp: cell index %d out of range", c))
@@ -189,6 +193,7 @@ func (t *Table) RecordWD(a pcm.LineAddr, cells []int) (ok bool) {
 		}
 		fresh = append(fresh, uint16(c))
 	}
+	t.scratch = fresh[:0]
 	if len(fresh) == 0 {
 		return true
 	}

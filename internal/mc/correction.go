@@ -21,6 +21,10 @@ import (
 // cascade recursion level of the triggering verification; pass it through
 // to PolicyContext.Correct so recursion stays bounded.
 //
+// newBits (the set-bit indices of flips, ascending) is backed by a scratch
+// buffer the controller reuses; it is valid only for the duration of the
+// call — a policy that retains it past Absorb's return must copy it first.
+//
 // A stateful policy may additionally implement ReadOverrider, WriteObserver
 // and Drainer; the controller resolves these once at construction.
 type CorrectionPolicy interface {
@@ -95,6 +99,22 @@ func (lazyECP) Absorb(ctx PolicyContext, addr pcm.LineAddr, flips pcm.Mask, newB
 	return 0, ctx.RecordWD(addr, newBits)
 }
 
+// scratchBits renders flips into the controller's per-depth scratch buffer
+// and returns the set-bit indices, ascending. One buffer per cascade depth
+// keeps the slices disjoint across the recursion verifyNeighbour → Absorb →
+// PolicyContext.Correct → verifyNeighbour(depth+1): depth strictly increases
+// down that call chain, so at most one frame per depth is ever live. The
+// returned slice is valid until the next verification at the same depth
+// (the CorrectionPolicy contract).
+func (c *Controller) scratchBits(depth int, flips pcm.Mask) []int {
+	for len(c.bitScratch) <= depth {
+		c.bitScratch = append(c.bitScratch, make([]int, 0, pcm.LineBits))
+	}
+	out := flips.AppendBits(c.bitScratch[depth][:0])
+	c.bitScratch[depth] = out
+	return out
+}
+
 // verifyNeighbour performs the post-write read of one adjacent line and
 // resolves any disturbance found there through the correction policy.
 // depth tracks cascade recursion (0 = first-level verification of the
@@ -116,10 +136,10 @@ func (c *Controller) verifyNeighbour(addr pcm.LineAddr, flips pcm.Mask, depth in
 			c.Stats.CorrectCycles += uint64(c.cfg.Timing.ReadCycles)
 		}
 	}
-	newBits := flips.Bits()
-	if len(newBits) == 0 {
+	if !flips.Any() {
 		return cycles
 	}
+	newBits := c.scratchBits(depth, flips)
 	if c.tr != nil {
 		c.tr.Emit(c.engine.Now, metrics.EvWDDetected, uint64(addr), uint64(len(newBits)), uint64(depth))
 	}

@@ -191,6 +191,12 @@ type Controller struct {
 	nextID uint64
 	Stats  Stats
 
+	// Steady-state allocation elimination: retired write-queue entries are
+	// recycled, and verification renders flip masks into per-depth scratch
+	// buffers instead of fresh slices (see scratchBits).
+	entryPool  []*writeEntry
+	bitScratch [][]int
+
 	// Instrumentation handles (all nil when uninstrumented: every use is a
 	// nil-safe no-op, so the disabled cost is one branch per site).
 	tr           *metrics.Trace

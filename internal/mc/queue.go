@@ -108,10 +108,17 @@ func (c *Controller) catchUp(b *bank, t uint64) {
 
 // executeNext pops the oldest write entry and runs its full VnC write op,
 // advancing freeAt. Work cannot start before the write arrived. burst marks
-// ops retired inside a full-queue drain (trace attribution only).
+// ops retired inside a full-queue drain (trace attribution only). The
+// retired entry returns to the controller's pool: with queues bounded by
+// WriteQueueCap the steady-state write path allocates nothing.
 func (c *Controller) executeNext(b *bank, burst bool) {
 	e := b.wq[0]
-	b.wq = b.wq[1:]
+	// Shift down instead of advancing the slice: the backing array keeps its
+	// capacity, so the queue never reallocates after warm-up. n <= wq cap
+	// pointer moves per op — noise next to the write op itself.
+	n := copy(b.wq, b.wq[1:])
+	b.wq[n] = nil
+	b.wq = b.wq[:n]
 	b.freeAt = max(b.freeAt, e.enqueuedAt)
 	if c.tr != nil {
 		var bf uint64
@@ -123,6 +130,9 @@ func (c *Controller) executeNext(b *bank, burst bool) {
 	c.queueRes.Observe(b.freeAt - e.enqueuedAt)
 	d := c.executeWrite(b, e)
 	b.freeAt += uint64(d)
+	// No pointer to e survives execution (prereads reference entries by id),
+	// so the entry is free for reuse.
+	c.entryPool = append(c.entryPool, e)
 }
 
 // Write buffers a write-back arriving at `now` (posted: the core does not
@@ -158,11 +168,20 @@ func (c *Controller) Write(now uint64, addr pcm.LineAddr, data pcm.Line) {
 	c.cfg.Preread.issue(c, b, now)
 }
 
-// newEntry builds a write-queue entry, resolving the (n:m) verification
-// decisions for its two bit-line neighbours.
+// newEntry builds a write-queue entry (recycling a retired one when the
+// pool has one), resolving the (n:m) verification decisions for its two
+// bit-line neighbours.
 func (c *Controller) newEntry(addr pcm.LineAddr, data pcm.Line) *writeEntry {
 	c.nextID++
-	e := &writeEntry{id: c.nextID, addr: addr, data: data}
+	var e *writeEntry
+	if n := len(c.entryPool); n > 0 {
+		e = c.entryPool[n-1]
+		c.entryPool[n-1] = nil
+		c.entryPool = c.entryPool[:n-1]
+		*e = writeEntry{id: c.nextID, addr: addr, data: data}
+	} else {
+		e = &writeEntry{id: c.nextID, addr: addr, data: data}
+	}
 	e.top, e.below, e.topOK, e.belowOK = pcm.AdjacentLines(addr, c.dev.RowsPerBank)
 	vt, vb := c.verifySides(addr.Page())
 	e.verifyTop = vt && e.topOK

@@ -1,6 +1,9 @@
 package pcm
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Timing holds the PCM access latencies of Table 2, in CPU cycles (4 GHz:
 // 100 ns read = 400 cycles, 200 ns SET = 800 cycles, 100 ns RESET = 400).
@@ -65,10 +68,40 @@ type Stats struct {
 // CellWrites returns the total number of programmed cells (wear proxy).
 func (s Stats) CellWrites() uint64 { return s.ResetPulses + s.SetPulses }
 
-// Device is one PCM DIMM's worth of data cell arrays. Storage is sparse:
-// lines never written hold a deterministic background pattern derived from
-// the fill seed, so disturbance vulnerability of untouched neighbours is
-// modelled without materialising the full capacity.
+// chunkLines is the number of lines in one lazily materialized storage
+// chunk. 16 lines (1 KB of cell data) balances dense-access locality
+// against the zeroing cost of materializing a chunk for workloads that
+// touch rows sparsely; profiles of sim.Run showed 64-line chunks spending
+// more on memclr than the indexed access path saved.
+const (
+	chunkLines = 16
+	chunkShift = 4
+	chunkMask  = chunkLines - 1
+)
+
+// lineChunk is one dense block of bank-local line storage. Lines are filled
+// with their background pattern on first touch, tracked per line in the
+// resident bitmap — materializing a chunk is a single zeroed allocation, so
+// sparse access patterns never pay for background content they don't read.
+type lineChunk struct {
+	// resident bit i set: lines[i] holds device content. Clear: the line is
+	// still untouched and reads as its background pattern.
+	resident uint64
+	lines    [chunkLines]Line
+}
+
+// Device is one PCM DIMM's worth of data cell arrays. Storage is a per-bank
+// two-level dense store: each bank owns a table of fixed-size line chunks,
+// materialized (and filled with the deterministic background pattern) on
+// first write or disturbance. Untouched chunks stay nil — Peek computes the
+// background lazily — so disturbance vulnerability of untouched neighbours
+// is modelled without materialising the full capacity, while every access to
+// touched storage is plain array indexing with zero allocation.
+//
+// Bank-local layout: line a lives in bank Locate(a).Bank at local index
+// row*LinesPerPage+slot, so physically adjacent rows (the bit-line WD
+// victims, rows r±1) are LinesPerPage local lines apart and land in the
+// same or a neighbouring chunk.
 //
 // Device is purely functional/data-level; command timing and scheduling live
 // in the memory controller (internal/mc).
@@ -77,9 +110,12 @@ type Device struct {
 	Timing      Timing
 	Stats       Stats
 
-	data     map[LineAddr]Line
-	fillSeed uint64
-	zeroFill bool
+	banks        [NumBanks][]*lineChunk
+	slab         []lineChunk // bulk-zeroed arena chunks are handed out from
+	linesPerBank int
+	numLines     int // cached Lines(): the bound checkRange tests per access
+	fillSeed     uint64
+	zeroFill     bool
 }
 
 // Config parameterises a Device.
@@ -109,23 +145,29 @@ func NewDevice(cfg Config) (*Device, error) {
 	if t.ParallelBits <= 0 {
 		return nil, fmt.Errorf("pcm: ParallelBits must be positive, got %d", t.ParallelBits)
 	}
-	return &Device{
+	d := &Device{
 		RowsPerBank: cfg.Pages / NumBanks,
 		Timing:      t,
-		data:        make(map[LineAddr]Line),
 		fillSeed:    cfg.FillSeed,
 		zeroFill:    cfg.ZeroFill,
-	}, nil
+	}
+	d.linesPerBank = d.RowsPerBank * LinesPerPage
+	d.numLines = d.linesPerBank * NumBanks
+	chunksPerBank := (d.linesPerBank + chunkLines - 1) / chunkLines
+	for b := range d.banks {
+		d.banks[b] = make([]*lineChunk, chunksPerBank)
+	}
+	return d, nil
 }
 
 // Pages returns the number of pages the device exposes.
 func (d *Device) Pages() int { return d.RowsPerBank * NumBanks }
 
 // Lines returns the number of lines the device exposes.
-func (d *Device) Lines() int { return d.Pages() * LinesPerPage }
+func (d *Device) Lines() int { return d.numLines }
 
 // contains reports whether the address is within the device.
-func (d *Device) contains(a LineAddr) bool { return int(a) < d.Lines() }
+func (d *Device) contains(a LineAddr) bool { return uint64(a) < uint64(d.numLines) }
 
 // background returns the deterministic initial content of a line.
 func (d *Device) background(a LineAddr) Line {
@@ -144,15 +186,71 @@ func (d *Device) background(a LineAddr) Line {
 	return l
 }
 
-// Peek returns the current content of a line without touching statistics.
-// It panics on out-of-range addresses: callers are inside the simulator and
-// an out-of-range access is a bug, not an input error.
-func (d *Device) Peek(a LineAddr) Line {
+// bankLocal maps a line address to its bank and bank-local line index
+// (row*LinesPerPage+slot). NumBanks and LinesPerPage are powers of two, so
+// the divisions compile to shifts.
+func bankLocal(a LineAddr) (bank, local int) {
+	page := uint64(a) / LinesPerPage
+	bank = int(page % NumBanks)
+	local = int(page/NumBanks)*LinesPerPage + int(uint64(a)%LinesPerPage)
+	return
+}
+
+// checkRange panics on out-of-range addresses: callers are inside the
+// simulator and an out-of-range access is a bug, not an input error.
+func (d *Device) checkRange(a LineAddr) {
 	if !d.contains(a) {
 		panic(fmt.Sprintf("pcm: line %d out of range (%d lines)", a, d.Lines()))
 	}
-	if l, ok := d.data[a]; ok {
-		return l
+}
+
+// slabChunks is how many chunks one arena slab holds. Chunks live for the
+// device's lifetime, so handing them out of a bulk-zeroed slab replaces one
+// 4 KB allocator round trip per chunk with one per slabChunks chunks.
+const slabChunks = 32
+
+// materializeChunk installs a fresh zeroed chunk for the given bank-local
+// chunk index and returns it.
+func (d *Device) materializeChunk(bank, ci int) *lineChunk {
+	if len(d.slab) == 0 {
+		d.slab = make([]lineChunk, slabChunks)
+	}
+	ch := &d.slab[0]
+	d.slab = d.slab[1:]
+	d.banks[bank][ci] = ch
+	return ch
+}
+
+// line returns a pointer to the stored image of a line, materializing its
+// chunk and its background content on first touch.
+func (d *Device) line(a LineAddr) *Line {
+	bank, local := bankLocal(a)
+	ch := d.banks[bank][local>>chunkShift]
+	if ch == nil {
+		ch = d.materializeChunk(bank, local>>chunkShift)
+	}
+	idx := local & chunkMask
+	l := &ch.lines[idx]
+	if ch.resident&(1<<idx) == 0 {
+		ch.resident |= 1 << idx
+		if !d.zeroFill {
+			*l = d.background(a)
+		}
+	}
+	return l
+}
+
+// Peek returns the current content of a line without touching statistics.
+// It panics on out-of-range addresses. Peeking an untouched line computes
+// the background pattern without materialising storage, so read-mostly
+// scans stay cheap on memory.
+func (d *Device) Peek(a LineAddr) Line {
+	d.checkRange(a)
+	bank, local := bankLocal(a)
+	if ch := d.banks[bank][local>>chunkShift]; ch != nil {
+		if idx := local & chunkMask; ch.resident&(1<<idx) != 0 {
+			return ch.lines[idx]
+		}
 	}
 	return d.background(a)
 }
@@ -174,10 +272,21 @@ type WriteResult struct {
 // Write programs a line to new content using differential write and returns
 // the pulse maps and bank occupancy. kind attributes the wear.
 func (d *Device) Write(a LineAddr, new Line, kind WriteKind) WriteResult {
-	old := d.Peek(a)
-	reset, set := DiffMasks(old, new)
-	d.data[a] = new
-	nr, ns := reset.PopCount(), set.PopCount()
+	d.checkRange(a)
+	l := d.line(a)
+	// Fused differential write: one pass computes both pulse maps, their
+	// popcounts and the stored update (DiffMasks + 2×PopCount + copy would
+	// walk the line four times).
+	var reset, set Mask
+	nr, ns := 0, 0
+	for i := range l {
+		r := l[i] &^ new[i]
+		s := new[i] &^ l[i]
+		reset[i], set[i] = r, s
+		nr += bits.OnesCount64(r)
+		ns += bits.OnesCount64(s)
+		l[i] = new[i]
+	}
 	d.Stats.Writes++
 	d.Stats.ResetPulses += uint64(nr)
 	d.Stats.SetPulses += uint64(ns)
@@ -191,28 +300,45 @@ func (d *Device) Write(a LineAddr, new Line, kind WriteKind) WriteResult {
 // Disturb crystallises the given cells of a line in place (0→1 flips caused
 // by neighbouring RESET heat). Bits of the mask that are already 1 are
 // ignored; the count of actually flipped cells is returned. Disturbance is
-// not a programmed pulse and adds no wear.
+// not a programmed pulse and adds no wear. The stored line is mutated in
+// place; a disturbance that flips nothing leaves untouched chunks
+// unmaterialized.
 func (d *Device) Disturb(a LineAddr, flips Mask) int {
-	old := d.Peek(a)
-	var newLine Line
+	d.checkRange(a)
+	bank, local := bankLocal(a)
+	ch := d.banks[bank][local>>chunkShift]
+	idx := local & chunkMask
 	n := 0
-	for i := range old {
-		flipped := flips[i] &^ old[i]
-		newLine[i] = old[i] | flipped
-		n += popcount64(flipped)
+	if ch != nil && ch.resident&(1<<idx) != 0 {
+		l := &ch.lines[idx]
+		for i := range flips {
+			n += bits.OnesCount64(flips[i] &^ l[i])
+		}
+		if n > 0 {
+			for i := range flips {
+				l[i] |= flips[i]
+			}
+		}
+	} else {
+		bg := d.background(a)
+		for i := range flips {
+			n += bits.OnesCount64(flips[i] &^ bg[i])
+		}
+		if n > 0 {
+			// Materialize directly from the background image already in hand
+			// rather than through line(), which would recompute it.
+			if ch == nil {
+				ch = d.materializeChunk(bank, local>>chunkShift)
+			}
+			ch.resident |= 1 << idx
+			l := &ch.lines[idx]
+			for i := range flips {
+				l[i] = bg[i] | flips[i]
+			}
+		}
 	}
 	if n > 0 {
-		d.data[a] = newLine
 		d.Stats.DisturbedBits += uint64(n)
-	}
-	return n
-}
-
-func popcount64(x uint64) int {
-	n := 0
-	for x != 0 {
-		x &= x - 1
-		n++
 	}
 	return n
 }

@@ -185,3 +185,134 @@ func TestPeekOutOfRangePanics(t *testing.T) {
 	}()
 	d.Peek(LineAddr(d.Lines()))
 }
+
+func TestWriteOutOfRangePanics(t *testing.T) {
+	d := newTestDevice(t, 16, true)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range Write")
+		}
+	}()
+	d.Write(LineAddr(d.Lines()), Line{}, NormalWrite)
+}
+
+func TestDisturbOutOfRangePanics(t *testing.T) {
+	d := newTestDevice(t, 16, true)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range Disturb")
+		}
+	}()
+	d.Disturb(LineAddr(d.Lines()), Mask{})
+}
+
+// TestMaterializedChunkMatchesBackground pins the dense store's key
+// invariant: materializing a chunk (triggered by the first write anywhere in
+// it) reproduces exactly the background pattern a lazy Peek would have
+// computed, for every other line of the chunk. An untouched reference
+// device is the oracle.
+func TestMaterializedChunkMatchesBackground(t *testing.T) {
+	const pages = 64
+	dirty, err := NewDevice(Config{Pages: pages, FillSeed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewDevice(Config{Pages: pages, FillSeed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One write materializes the chunk holding line 100 and its bank
+	// neighbours.
+	dirty.Write(100, Line{0xabc}, NormalWrite)
+	for a := LineAddr(0); a < LineAddr(dirty.Lines()); a++ {
+		if a == 100 {
+			continue
+		}
+		if dirty.Peek(a) != fresh.Peek(a) {
+			t.Fatalf("line %d diverged from background after unrelated write", a)
+		}
+	}
+	if dirty.Peek(100) != (Line{0xabc}) {
+		t.Fatal("written line lost its content")
+	}
+}
+
+// TestDisturbDoesNotMaterializeOnNoop: a disturbance that flips nothing must
+// leave untouched chunks unmaterialized (Peek still serves the background),
+// and an effective one must land in dense storage.
+func TestDisturbDoesNotMaterializeOnNoop(t *testing.T) {
+	d := newTestDevice(t, 16, false)
+	a := LineAddr(5)
+	bg := d.Peek(a)
+	// Flip mask fully covered by already-crystalline background bits.
+	var noop Mask
+	for i := 0; i < LineBits; i++ {
+		if bg.Bit(i) == 1 {
+			noop.SetBit(i)
+			break
+		}
+	}
+	if n := d.Disturb(a, noop); n != 0 {
+		t.Fatalf("no-op disturb flipped %d cells", n)
+	}
+	if d.banks[0] == nil {
+		t.Fatal("bank table missing")
+	}
+	bank, local := bankLocal(a)
+	if d.banks[bank][local>>chunkShift] != nil {
+		t.Fatal("no-op disturb materialized a chunk")
+	}
+	// Now flip an amorphous cell: the chunk materializes and holds bg|flip.
+	var eff Mask
+	for i := 0; i < LineBits; i++ {
+		if bg.Bit(i) == 0 {
+			eff.SetBit(i)
+			break
+		}
+	}
+	if n := d.Disturb(a, eff); n != 1 {
+		t.Fatalf("effective disturb flipped %d cells, want 1", n)
+	}
+	if d.banks[bank][local>>chunkShift] == nil {
+		t.Fatal("effective disturb did not materialize the chunk")
+	}
+}
+
+// TestDeviceHotPathAllocFree pins the zero-allocation contract of the data
+// plane: once a chunk is materialized, Peek, Write and Disturb never touch
+// the heap.
+func TestDeviceHotPathAllocFree(t *testing.T) {
+	d := newTestDevice(t, 64, false)
+	addrs := []LineAddr{0, 100, 1000, LineAddr(d.Lines() - 1)}
+	for _, a := range addrs {
+		d.Write(a, Line{1, 2, 3}, NormalWrite) // materialize
+	}
+	var flips Mask
+	flips.SetBit(7)
+	flips.SetBit(400)
+	var sink Line
+	if n := testing.AllocsPerRun(200, func() {
+		for _, a := range addrs {
+			sink = d.Peek(a)
+		}
+	}); n != 0 {
+		t.Errorf("Peek allocates %v/run", n)
+	}
+	i := uint64(0)
+	if n := testing.AllocsPerRun(200, func() {
+		for _, a := range addrs {
+			i++
+			d.Write(a, Line{i}, NormalWrite)
+		}
+	}); n != 0 {
+		t.Errorf("Write allocates %v/run", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		for _, a := range addrs {
+			d.Disturb(a, flips)
+		}
+	}); n != 0 {
+		t.Errorf("Disturb allocates %v/run", n)
+	}
+	_ = sink
+}

@@ -94,17 +94,40 @@ func (m Mask) AndNot(o Mask) Mask {
 	return r
 }
 
-// Bits returns the indices of all set bits, ascending.
+// Bits returns the indices of all set bits, ascending. It allocates; hot
+// paths use VisitBits or AppendBits instead.
 func (m Mask) Bits() []int {
-	out := make([]int, 0, m.PopCount())
+	return m.AppendBits(make([]int, 0, m.PopCount()))
+}
+
+// AppendBits appends the indices of all set bits, ascending, to dst and
+// returns the extended slice. With a caller-owned scratch buffer the append
+// is allocation-free once the buffer has grown to the working-set size.
+func (m Mask) AppendBits(dst []int) []int {
 	for w, word := range m {
 		for word != 0 {
 			b := bits.TrailingZeros64(word)
-			out = append(out, w*64+b)
+			dst = append(dst, w*64+b)
 			word &= word - 1
 		}
 	}
-	return out
+	return dst
+}
+
+// VisitBits calls f for every set bit in ascending index order, stopping
+// early if f returns false. It performs no allocation: the closure stays on
+// the stack (f does not escape), so per-bit work like the disturbance
+// engine's Bernoulli sampling runs allocation-free.
+func (m Mask) VisitBits(f func(int) bool) {
+	for w, word := range m {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			if !f(w*64 + b) {
+				return
+			}
+			word &= word - 1
+		}
+	}
 }
 
 // DiffMasks computes the differential-write pulse maps for updating a line

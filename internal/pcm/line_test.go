@@ -88,6 +88,80 @@ func TestMaskBits(t *testing.T) {
 	}
 }
 
+// TestVisitBitsMatchesBits: the allocation-free visitor must produce exactly
+// the ascending order of Bits() — the RNG-stream-preservation invariant the
+// disturbance engine relies on — and honour early termination.
+func TestVisitBitsMatchesBits(t *testing.T) {
+	if err := quick.Check(func(words [LineWords]uint64) bool {
+		m := Mask(words)
+		var visited []int
+		m.VisitBits(func(b int) bool {
+			visited = append(visited, b)
+			return true
+		})
+		want := m.Bits()
+		if len(visited) != len(want) {
+			return false
+		}
+		for i := range want {
+			if visited[i] != want[i] {
+				return false
+			}
+		}
+		// AppendBits onto a prefix keeps the prefix and appends the same.
+		app := m.AppendBits([]int{-1})
+		if app[0] != -1 || len(app) != len(want)+1 {
+			return false
+		}
+		for i := range want {
+			if app[i+1] != want[i] {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVisitBitsEarlyStop(t *testing.T) {
+	var m Mask
+	for _, b := range []int{1, 60, 80, 300} {
+		m.SetBit(b)
+	}
+	var got []int
+	m.VisitBits(func(b int) bool {
+		got = append(got, b)
+		return len(got) < 2
+	})
+	if len(got) != 2 || got[0] != 1 || got[1] != 60 {
+		t.Fatalf("early-stop visit = %v", got)
+	}
+}
+
+// TestVisitBitsAllocFree pins the visitor's zero-allocation property with a
+// capturing closure — the wd.sample pattern.
+func TestVisitBitsAllocFree(t *testing.T) {
+	var m Mask
+	for b := 0; b < LineBits; b += 7 {
+		m.SetBit(b)
+	}
+	count := 0
+	if n := testing.AllocsPerRun(100, func() {
+		var out Mask
+		m.VisitBits(func(b int) bool {
+			out.SetBit(b)
+			count++
+			return true
+		})
+	}); n != 0 {
+		t.Errorf("VisitBits allocates %v/run", n)
+	}
+	if count == 0 {
+		t.Fatal("visitor never ran")
+	}
+}
+
 func TestMaskSetOps(t *testing.T) {
 	if err := quick.Check(func(a, b [8]uint64) bool {
 		ma, mb := Mask(a), Mask(b)

@@ -1,0 +1,61 @@
+// Package prof wires the standard runtime/pprof file profiles into a CLI:
+// one call after flag parsing starts the CPU profile, the returned stop
+// function finishes it and writes the allocation profile. See EXPERIMENTS.md
+// ("Profiling the simulator") for the analysis workflow.
+package prof
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the values of a command's -cpuprofile/-memprofile flags.
+// Empty strings disable the corresponding profile.
+type Flags struct {
+	CPU string
+	Mem string
+}
+
+// Start begins CPU profiling when requested and returns a stop function
+// that finishes the CPU profile and writes the allocation profile. Call
+// stop exactly once, on every path that ends the process — profiles are
+// useless unless flushed.
+func Start(f Flags) (stop func() error, err error) {
+	var cpu *os.File
+	if f.CPU != "" {
+		cpu, err = os.Create(f.CPU)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			cpu.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		var err error
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			err = cpu.Close()
+		}
+		if f.Mem != "" {
+			mf, merr := os.Create(f.Mem)
+			if merr != nil {
+				if err == nil {
+					err = merr
+				}
+				return err
+			}
+			runtime.GC() // materialize up-to-date allocation statistics
+			werr := pprof.Lookup("allocs").WriteTo(mf, 0)
+			if cerr := mf.Close(); werr == nil {
+				werr = cerr
+			}
+			if err == nil {
+				err = werr
+			}
+		}
+		return err
+	}, nil
+}

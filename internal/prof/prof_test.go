@@ -1,0 +1,51 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	stop, err := Start(Flags{CPU: cpu, Mem: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Allocate a little so the allocation profile has samples to record.
+	sink := make([][]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		sink = append(sink, make([]byte, 4096))
+	}
+	_ = sink
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+}
+
+func TestStartDisabled(t *testing.T) {
+	stop, err := Start(Flags{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Errorf("no-op stop: %v", err)
+	}
+}
+
+func TestStartBadPath(t *testing.T) {
+	if _, err := Start(Flags{CPU: filepath.Join(t.TempDir(), "no", "such", "dir", "x")}); err == nil {
+		t.Fatal("want error for uncreatable CPU profile path")
+	}
+}

@@ -103,16 +103,21 @@ type Outcome struct {
 }
 
 // sample returns the subset of mask whose bits each flip with probability p.
+// The visit order (ascending bit index) fixes the RNG consumption order and
+// is part of the repository's determinism contract: golden tables and
+// equivalence fingerprints depend on it. The allocation-free visitor keeps
+// this — the hottest per-write loop — off the heap entirely.
 func (e *Engine) sample(mask pcm.Mask, p float64) pcm.Mask {
 	var out pcm.Mask
 	if p <= 0 || !mask.Any() {
 		return out
 	}
-	for _, b := range mask.Bits() {
+	mask.VisitBits(func(b int) bool {
 		if e.rnd.Bernoulli(p) {
 			out.SetBit(b)
 		}
-	}
+		return true
+	})
 	return out
 }
 
