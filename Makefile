@@ -22,14 +22,14 @@ bench:
 # The pinned data-plane benchmark set the benchstat CI gate compares
 # against main. Parent names only: sub-benchmarks (WritePath/vnc, ...) run
 # because go test splits the -bench regex on '/'.
-BENCH_PIN = BenchmarkDevicePeek$$|BenchmarkDeviceWrite$$|BenchmarkDeviceDisturb$$|BenchmarkWDInject$$|BenchmarkWritePath$$|BenchmarkSimulatorThroughput$$
+BENCH_PIN = BenchmarkDevicePeek$$|BenchmarkDeviceWrite$$|BenchmarkDeviceDisturb$$|BenchmarkWDInject$$|BenchmarkWritePath$$|BenchmarkSimulatorThroughput$$|BenchmarkSimRunSharded$$
 
 # Run the pinned set three times, keep the raw text (bench.txt, what
-# benchstat consumes) and record per-benchmark medians as BENCH_5.json.
+# benchstat consumes) and record per-benchmark medians as BENCH_6.json.
 bench-json:
 	$(GO) test -run '^$$' -bench '$(BENCH_PIN)' -benchtime 200ms -count 3 \
 		./internal/pcm ./internal/wd ./internal/mc . > bench.txt
-	$(GO) run ./scripts/benchgate -emit bench.txt > BENCH_5.json
+	$(GO) run ./scripts/benchgate -emit bench.txt > BENCH_6.json
 
 # Refresh the pinned golden tables after an intentional simulator change.
 golden:

@@ -218,6 +218,35 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(float64(8*5000*b.N)/b.Elapsed().Seconds(), "refs/s")
 }
 
+// BenchmarkSimRunSharded measures intra-run scaling of the bank-sharded
+// executor on the BenchmarkSimulatorThroughput workload: the same run at 1
+// (single-goroutine), 4 and 8 shard workers. Results are byte-identical at
+// every shard count (pinned by the equivalence fixture); only refs/s should
+// move, and only on multi-core hosts — on a single-core runner the sharded
+// variants price the channel machinery, not the parallelism.
+func BenchmarkSimRunSharded(b *testing.B) {
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("%d", shards), func(b *testing.B) {
+			cfg := sdpcm.SimConfig{
+				Scheme:      sdpcm.AllThree(6, sdpcm.Tag23),
+				Mix:         sdpcm.HomogeneousMix("mcf", 8),
+				RefsPerCore: 5000,
+				MemPages:    1 << 16,
+				RegionPages: 1024,
+				Seed:        1,
+				Shards:      shards,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sdpcm.Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(8*5000*b.N)/b.Elapsed().Seconds(), "refs/s")
+		})
+	}
+}
+
 // BenchmarkAblationEncoding compares word-line codecs on the same workload
 // (a DESIGN.md ablation): DIN-style disturbance-aware inversion (§4.1),
 // Flip-N-Write (write-minimising but disturbance-oblivious [7]) and raw

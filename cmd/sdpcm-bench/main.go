@@ -27,8 +27,19 @@ import (
 	"time"
 
 	"sdpcm"
+	"sdpcm/internal/pcm"
 	"sdpcm/internal/prof"
 )
+
+// resolveShards maps the -shards flag to a concrete shard count: 0 picks
+// min(banks, GOMAXPROCS) — no point spawning more workers than cores or more
+// shards than banks. Results are byte-identical at every value.
+func resolveShards(n int) int {
+	if n == 0 {
+		return min(pcm.NumBanks, runtime.GOMAXPROCS(0))
+	}
+	return n
+}
 
 type runner func(sdpcm.ExperimentOptions) (*sdpcm.ResultTable, error)
 
@@ -123,6 +134,7 @@ func run() int {
 		memMB    = flag.Int("mem-mb", 512, "simulated PCM capacity in MB")
 		region   = flag.Int("region-pages", 1024, "(n:m) marking-region size in pages (paper: 16384 = 64MB)")
 		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = all cores, 1 = sequential; results are identical)")
+		shards   = flag.Int("shards", 1, "bank-shard worker goroutines inside each simulation (0 = min(banks, GOMAXPROCS), 1 = single-goroutine; results are byte-identical)")
 		progress = flag.Bool("progress", false, "stream one line per completed simulation point to stderr")
 		noCache  = flag.Bool("no-cache", false, "disable result memoization (re-simulate points shared between figures)")
 		metricf  = flag.String("metrics", "", "emit the aggregated metrics snapshot after the tables: 'json' or 'table'")
@@ -159,6 +171,7 @@ func run() int {
 		MemPages:       *memMB * 256, // 4KB pages
 		RegionPages:    *region,
 		Parallel:       *parallel,
+		Shards:         resolveShards(*shards),
 		NoCache:        *noCache,
 		CollectMetrics: *metricf != "" || *benchOut != "" || *listen != "",
 		TraceEvents:    *trEv,
@@ -268,9 +281,9 @@ func run() int {
 	}
 	st := opts.Exec.Stats()
 	if st.Points > 0 {
-		fmt.Fprintf(os.Stderr, "total: %d points, %d simulated, %d cache hits, %v wall (parallel=%d), %s\n",
+		fmt.Fprintf(os.Stderr, "total: %d points, %d simulated, %d cache hits, %v wall (parallel=%d, shards=%d), %s\n",
 			st.Points, st.SimRuns, st.CacheHits,
-			time.Since(start).Round(time.Millisecond), *parallel, heapString())
+			time.Since(start).Round(time.Millisecond), *parallel, opts.Shards, heapString())
 	}
 	if *metricf != "" {
 		var err error

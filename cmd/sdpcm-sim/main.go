@@ -14,11 +14,23 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	"sdpcm"
+	"sdpcm/internal/pcm"
 	"sdpcm/internal/prof"
 )
+
+// resolveShards maps the -shards flag to a concrete shard count: 0 picks
+// min(banks, GOMAXPROCS) — no point spawning more workers than cores or more
+// shards than banks. Results are byte-identical at every value.
+func resolveShards(n int) int {
+	if n == 0 {
+		return min(pcm.NumBanks, runtime.GOMAXPROCS(0))
+	}
+	return n
+}
 
 func main() { os.Exit(run()) }
 
@@ -34,6 +46,7 @@ func run() int {
 		ecp     = flag.Int("ecp", sdpcm.DefaultECPEntries, "ECP entries per line for LazyC schemes")
 		queue   = flag.Int("queue", 32, "write queue entries per bank")
 		seed    = flag.Uint64("seed", 42, "random seed")
+		shards  = flag.Int("shards", 0, "bank-shard worker goroutines per run (0 = min(banks, GOMAXPROCS), 1 = single-goroutine; results are byte-identical)")
 		noBase  = flag.Bool("no-baseline", false, "skip the baseline comparison run")
 		traces  = flag.String("trace", "", "comma-separated trace files to replay (one per core) instead of -bench")
 		metricf = flag.String("metrics", "", "append the run's metrics snapshot: 'json' or 'table'")
@@ -87,6 +100,7 @@ func run() int {
 		MemPages:       1 << 17,
 		RegionPages:    1024,
 		Seed:           *seed,
+		Shards:         resolveShards(*shards),
 		CollectMetrics: *metricf != "" || *listen != "",
 		TraceEvents:    *trEv,
 	}
@@ -126,6 +140,7 @@ func run() int {
 
 	fmt.Printf("scheme        %s\n", res.Scheme)
 	fmt.Printf("workload      %s x %d cores\n", res.Mix, len(cfg.Mix.Cores)+len(cfg.Streams))
+	fmt.Printf("shards        %d\n", cfg.Shards)
 	fmt.Printf("cycles        %d\n", res.Cycles)
 	fmt.Printf("instructions  %d\n", res.Instructions)
 	fmt.Printf("CPI           %.3f\n", res.CPI)

@@ -47,6 +47,17 @@ type Stats struct {
 	ECPBitWrites     uint64 // cells programmed in the ECP chip (wear proxy)
 }
 
+// Add accumulates another Stats value; all fields are additive, so per-bank
+// table shards merge commutatively.
+func (s *Stats) Add(o Stats) {
+	s.WDRecorded += o.WDRecorded
+	s.WDDuplicates += o.WDDuplicates
+	s.Overflows += o.Overflows
+	s.ClearedByWrite += o.ClearedByWrite
+	s.ClearedByCorrect += o.ClearedByCorrect
+	s.ECPBitWrites += o.ECPBitWrites
+}
+
 // lineState is the per-line entry bookkeeping. WD entries are kept as an
 // ordered slice of cell indices; hard errors are abstract (only their count
 // matters to entry pressure — their addresses never change).

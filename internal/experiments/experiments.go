@@ -62,6 +62,11 @@ type Options struct {
 	// result carries a per bank × line-region accumulation of injected
 	// flips, parked errors and cascade activity (sim.Result.Heatmap).
 	HeatmapRegions int
+	// Shards selects the intra-run bank-sharded executor for every point
+	// (<=1 single-goroutine; results are byte-identical at any value). Use
+	// it when a run is dominated by a few large points; Parallel is the
+	// better lever when a sweep has many independent points.
+	Shards int
 	// Parallel bounds concurrent simulations (0 = GOMAXPROCS, 1 =
 	// sequential). Results are identical either way.
 	Parallel int
@@ -109,6 +114,7 @@ func (o Options) base() runner.Base {
 		CollectMetrics: o.CollectMetrics,
 		TraceEvents:    o.TraceEvents,
 		HeatmapRegions: o.HeatmapRegions,
+		Shards:         o.Shards,
 	}
 }
 

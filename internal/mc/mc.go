@@ -162,6 +162,36 @@ type Stats struct {
 	ReadWaitSum    uint64 // queueing component of read latency
 }
 
+// Add accumulates another Stats value. Every field is additive, so merging
+// per-bank controller shards in bank order reproduces the single-controller
+// aggregate exactly.
+func (s *Stats) Add(o Stats) {
+	s.DemandReads += o.DemandReads
+	s.ForwardedReads += o.ForwardedReads
+	s.WriteRequests += o.WriteRequests
+	s.Coalesced += o.Coalesced
+	s.WriteOps += o.WriteOps
+	s.Drains += o.Drains
+	s.PreReadsIssued += o.PreReadsIssued
+	s.PreReadsForwarded += o.PreReadsForwarded
+	s.PreReadsCanceled += o.PreReadsCanceled
+	s.PreReadHits += o.PreReadHits
+	s.VerifyReads += o.VerifyReads
+	s.CascadeReads += o.CascadeReads
+	s.CorrectionWrites += o.CorrectionWrites
+	s.LazyRecords += o.LazyRecords
+	s.CascadeTruncated += o.CascadeTruncated
+	s.ReadPreemptions += o.ReadPreemptions
+	s.BurstOps += o.BurstOps
+	s.BackgroundOps += o.BackgroundOps
+	s.ProgramCycles += o.ProgramCycles
+	s.VerifyCycles += o.VerifyCycles
+	s.CorrectCycles += o.CorrectCycles
+	s.ReadCycles += o.ReadCycles
+	s.ReadLatencySum += o.ReadLatencySum
+	s.ReadWaitSum += o.ReadWaitSum
+}
+
 // Encoder is the word-line codec contract: a stored-image transform with
 // per-line state. *din.Codec (including its nil identity form) and
 // *fnw.Codec implement it.
@@ -171,6 +201,17 @@ type Encoder interface {
 	Forget(a pcm.LineAddr)
 }
 
+// RegionResolver is the hardware-side interpretation of the TLB tag of
+// Fig. 9: given a page, which (n:m) compression tag governs its region and
+// where in the region's strip layout the page falls. *alloc.Allocator is the
+// live implementation; the sharded simulator substitutes a versioned mirror
+// so shard goroutines resolve tags without touching the allocator.
+type RegionResolver interface {
+	RegionTag(p pcm.PageAddr) alloc.Tag
+	StripIndexInRegion(p pcm.PageAddr) int
+	StripsPerRegion() int
+}
+
 // Controller is the memory controller for one DIMM.
 type Controller struct {
 	cfg    Config
@@ -178,7 +219,7 @@ type Controller struct {
 	ecp    *ecp.Table
 	codec  Encoder
 	engine *wd.Engine
-	region *alloc.Allocator
+	region RegionResolver
 
 	// Optional CorrectionPolicy extensions, resolved once at construction so
 	// the hot paths pay a nil check instead of a type assertion. All nil for
@@ -211,7 +252,7 @@ type Controller struct {
 // (n:m)-strip marking decisions (its RegionTag/StripIndexInRegion are the
 // hardware-side interpretation of the TLB tag of Fig. 9); rnd seeds the
 // disturbance engine.
-func New(cfg Config, dev *pcm.Device, region *alloc.Allocator, rnd *rng.Rand) (*Controller, error) {
+func New(cfg Config, dev *pcm.Device, region RegionResolver, rnd *rng.Rand) (*Controller, error) {
 	cfg = cfg.normalized()
 	table, err := ecp.New(cfg.ECPEntries)
 	if err != nil {

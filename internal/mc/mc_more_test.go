@@ -212,9 +212,9 @@ func TestDeviceReadAccounting(t *testing.T) {
 	r.c.Flush(clock)
 	s := r.c.Stats
 	arch := s.DemandReads - s.ForwardedReads + s.VerifyReads + s.CascadeReads + s.PreReadsIssued
-	if r.d.Stats.Reads != arch {
+	if r.d.Stats().Reads != arch {
 		t.Fatalf("device reads %d != architectural reads %d (%+v)",
-			r.d.Stats.Reads, arch, s)
+			r.d.Stats().Reads, arch, s)
 	}
 }
 

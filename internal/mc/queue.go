@@ -206,7 +206,18 @@ func (c *Controller) verifySides(p pcm.PageAddr) (top, below bool) {
 // repairs (Drainer) writes them back here — its buffer is volatile module
 // SRAM and must be empty at power-down.
 func (c *Controller) Flush(now uint64) uint64 {
-	end := now
+	end, drain := c.FlushParts(now)
+	return end + drain
+}
+
+// FlushParts is Flush split into its two components: the cycle this
+// controller's bank queues run dry, and the policy drain-buffer cost that is
+// conservatively serialised after all queue work. Separating them lets the
+// sharded simulator combine per-bank controllers exactly as one controller
+// would: global end = max over banks of the queue end, plus the sum of every
+// drain cost (the single-controller DrainFlush already sums its banks).
+func (c *Controller) FlushParts(now uint64) (end, drain uint64) {
+	end = now
 	for i := range c.banks {
 		b := &c.banks[i]
 		c.catchUp(b, now)
@@ -218,10 +229,9 @@ func (c *Controller) Flush(now uint64) uint64 {
 		end = max(end, b.freeAt)
 	}
 	if c.drainer != nil {
-		// Conservatively serialised after all queue work.
-		end += uint64(c.drainer.DrainFlush(PolicyContext{c}))
+		drain = uint64(c.drainer.DrainFlush(PolicyContext{c}))
 	}
-	return end
+	return end, drain
 }
 
 // QueueOccupancy returns the total buffered writes (for tests/monitoring).

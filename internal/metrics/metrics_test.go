@@ -225,3 +225,44 @@ func TestWriteTable(t *testing.T) {
 		t.Fatalf("nil snapshot table = %q, err %v", buf.String(), err)
 	}
 }
+
+func TestMergeEventTails(t *testing.T) {
+	ev := func(seq, time uint64) Event { return Event{Seq: seq, Time: time, Kind: EvWDInjected} }
+	tails := [][]Event{
+		{ev(0, 10), ev(1, 30), ev(2, 30)},
+		{ev(5, 20), ev(6, 30)},
+	}
+	merged, dropped := MergeEventTails(4, tails, []uint64{2, 0})
+	// total = 3+2+2 dropped = 7; keep last 4; base seq = 3.
+	if dropped != 3 || len(merged) != 4 {
+		t.Fatalf("dropped=%d len=%d, want 3,4", dropped, len(merged))
+	}
+	// Sorted by (Time, shard, Seq): t10s0, t20s1, t30s0#1, t30s0#2, t30s1 →
+	// tail of 4 drops t10.
+	wantTimes := []uint64{20, 30, 30, 30}
+	for i, e := range merged {
+		if e.Time != wantTimes[i] {
+			t.Fatalf("merged[%d].Time = %d, want %d (%+v)", i, e.Time, wantTimes[i], merged)
+		}
+		if e.Seq != 3+uint64(i) {
+			t.Fatalf("merged[%d].Seq = %d, want %d", i, e.Seq, 3+i)
+		}
+	}
+	// Within t=30, shard 0's two events precede shard 1's, in Seq order.
+	if merged[1].Seq != 4 { // renumbered; check source order via Time ties already
+		t.Fatalf("tie-break renumbering wrong: %+v", merged)
+	}
+
+	// A single shard with capacity ≥ total is the identity modulo Seq rebase.
+	one, d := MergeEventTails(8, [][]Event{{ev(3, 1), ev(4, 2)}}, []uint64{3})
+	if d != 3 || len(one) != 2 || one[0].Time != 1 || one[1].Time != 2 {
+		t.Fatalf("single-shard merge wrong: %+v dropped=%d", one, d)
+	}
+
+	// Zero capacity disables bounding only when non-positive... capacity<=0
+	// keeps everything.
+	all, d0 := MergeEventTails(0, tails, nil)
+	if d0 != 0 || len(all) != 5 {
+		t.Fatalf("unbounded merge: len=%d dropped=%d", len(all), d0)
+	}
+}

@@ -3,6 +3,7 @@ package metrics
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 )
 
 // EventKind labels one event-trace record type. The set mirrors the
@@ -186,6 +187,54 @@ func (t *Trace) Dropped() uint64 {
 		return 0
 	}
 	return t.next - uint64(len(t.buf))
+}
+
+// MergeEventTails combines per-shard event-ring tails into one bounded tail
+// of at most capacity events, as if a single ring of that capacity had
+// observed the union. tails[i] is shard i's buffered events (oldest first)
+// and droppedBefore[i] how many that shard's ring already overwrote. The
+// merge is canonical — events sort by (Time, shard index, per-shard Seq) and
+// the result keeps the latest `capacity` with globally renumbered Seq — so
+// any shard partition of the same per-bank event streams produces the same
+// tail. Kept-event ordering is by simulated time, not global emission order
+// (which per-bank rings cannot reconstruct); within one shard relative order
+// is preserved.
+func MergeEventTails(capacity int, tails [][]Event, droppedBefore []uint64) ([]Event, uint64) {
+	type tagged struct {
+		e     Event
+		shard int
+	}
+	var all []tagged
+	total := uint64(0)
+	for i, tl := range tails {
+		total += uint64(len(tl))
+		if i < len(droppedBefore) {
+			total += droppedBefore[i]
+		}
+		for _, e := range tl {
+			all = append(all, tagged{e, i})
+		}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		x, y := all[a], all[b]
+		if x.e.Time != y.e.Time {
+			return x.e.Time < y.e.Time
+		}
+		if x.shard != y.shard {
+			return x.shard < y.shard
+		}
+		return x.e.Seq < y.e.Seq
+	})
+	if capacity > 0 && len(all) > capacity {
+		all = all[len(all)-capacity:]
+	}
+	out := make([]Event, len(all))
+	base := total - uint64(len(all))
+	for i, t := range all {
+		out[i] = t.e
+		out[i].Seq = base + uint64(i)
+	}
+	return out, base
 }
 
 // Events returns the buffered events in emission order (oldest first).

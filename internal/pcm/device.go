@@ -68,6 +68,25 @@ type Stats struct {
 // CellWrites returns the total number of programmed cells (wear proxy).
 func (s Stats) CellWrites() uint64 { return s.ResetPulses + s.SetPulses }
 
+// Add accumulates another Stats value; all fields are additive, so folding
+// per-bank shards in bank order is equivalent to a single global counter.
+func (s *Stats) Add(o Stats) {
+	s.Reads += o.Reads
+	s.Writes += o.Writes
+	s.ResetPulses += o.ResetPulses
+	s.SetPulses += o.SetPulses
+	s.CorrectionWrites += o.CorrectionWrites
+	s.CorrectionResetPulses += o.CorrectionResetPulses
+	s.DisturbedBits += o.DisturbedBits
+}
+
+// bankStats pads one bank's counters to a full cache line so shard
+// goroutines updating different banks never contend on a shared line.
+type bankStats struct {
+	Stats
+	_ [64 - (8*7)%64]byte
+}
+
 // chunkLines is the number of lines in one lazily materialized storage
 // chunk. 16 lines (1 KB of cell data) balances dense-access locality
 // against the zeroing cost of materializing a chunk for workloads that
@@ -108,10 +127,14 @@ type lineChunk struct {
 type Device struct {
 	RowsPerBank int
 	Timing      Timing
-	Stats       Stats
+
+	// stats is sharded per bank (cache-line padded) so controllers driving
+	// disjoint banks from different goroutines can count without contention;
+	// Stats() folds the shards.
+	stats [NumBanks]bankStats
 
 	banks        [NumBanks][]*lineChunk
-	slab         []lineChunk // bulk-zeroed arena chunks are handed out from
+	slabs        [NumBanks][]lineChunk // per-bank bulk-zeroed arenas chunks are handed out from
 	linesPerBank int
 	numLines     int // cached Lines(): the bound checkRange tests per access
 	fillSeed     uint64
@@ -158,6 +181,28 @@ func NewDevice(cfg Config) (*Device, error) {
 		d.banks[b] = make([]*lineChunk, chunksPerBank)
 	}
 	return d, nil
+}
+
+// Stats folds the per-bank counter shards into one aggregate view. It is
+// only meaningful when no bank is concurrently active (e.g. after a run, or
+// between conservative-window barriers).
+func (d *Device) Stats() Stats {
+	var s Stats
+	for b := range d.stats {
+		s.Add(d.stats[b].Stats)
+	}
+	return s
+}
+
+// BankStats returns one bank's counters (same quiescence caveat as Stats).
+func (d *Device) BankStats(bank int) Stats { return d.stats[bank].Stats }
+
+// CountRead attributes one array read to the line's bank without performing
+// it — the controller's read-combining paths serve data from queue state but
+// still occupy the array (verification, cascade and pre-reads).
+func (d *Device) CountRead(a LineAddr) {
+	bank, _ := bankLocal(a)
+	d.stats[bank].Reads++
 }
 
 // Pages returns the number of pages the device exposes.
@@ -212,11 +257,11 @@ const slabChunks = 32
 // materializeChunk installs a fresh zeroed chunk for the given bank-local
 // chunk index and returns it.
 func (d *Device) materializeChunk(bank, ci int) *lineChunk {
-	if len(d.slab) == 0 {
-		d.slab = make([]lineChunk, slabChunks)
+	if len(d.slabs[bank]) == 0 {
+		d.slabs[bank] = make([]lineChunk, slabChunks)
 	}
-	ch := &d.slab[0]
-	d.slab = d.slab[1:]
+	ch := &d.slabs[bank][0]
+	d.slabs[bank] = d.slabs[bank][1:]
 	d.banks[bank][ci] = ch
 	return ch
 }
@@ -258,7 +303,7 @@ func (d *Device) Peek(a LineAddr) Line {
 // Read returns a line's content and counts one array read. Timing is the
 // caller's concern (Timing.ReadCycles).
 func (d *Device) Read(a LineAddr) Line {
-	d.Stats.Reads++
+	d.CountRead(a)
 	return d.Peek(a)
 }
 
@@ -273,6 +318,7 @@ type WriteResult struct {
 // the pulse maps and bank occupancy. kind attributes the wear.
 func (d *Device) Write(a LineAddr, new Line, kind WriteKind) WriteResult {
 	d.checkRange(a)
+	bank, _ := bankLocal(a)
 	l := d.line(a)
 	// Fused differential write: one pass computes both pulse maps, their
 	// popcounts and the stored update (DiffMasks + 2×PopCount + copy would
@@ -287,12 +333,13 @@ func (d *Device) Write(a LineAddr, new Line, kind WriteKind) WriteResult {
 		ns += bits.OnesCount64(s)
 		l[i] = new[i]
 	}
-	d.Stats.Writes++
-	d.Stats.ResetPulses += uint64(nr)
-	d.Stats.SetPulses += uint64(ns)
+	st := &d.stats[bank].Stats
+	st.Writes++
+	st.ResetPulses += uint64(nr)
+	st.SetPulses += uint64(ns)
 	if kind == CorrectionWrite {
-		d.Stats.CorrectionWrites++
-		d.Stats.CorrectionResetPulses += uint64(nr)
+		st.CorrectionWrites++
+		st.CorrectionResetPulses += uint64(nr)
 	}
 	return WriteResult{Reset: reset, Set: set, Cycles: d.Timing.WriteCycles(nr, ns)}
 }
@@ -338,7 +385,7 @@ func (d *Device) Disturb(a LineAddr, flips Mask) int {
 		}
 	}
 	if n > 0 {
-		d.Stats.DisturbedBits += uint64(n)
+		d.stats[bank].DisturbedBits += uint64(n)
 	}
 	return n
 }

@@ -91,8 +91,8 @@ func TestWriteThenRead(t *testing.T) {
 	if got := d.Read(5); got != l {
 		t.Fatalf("read back %v, want %v", got, l)
 	}
-	if d.Stats.Reads != 1 || d.Stats.Writes != 1 {
-		t.Fatalf("stats = %+v", d.Stats)
+	if d.Stats().Reads != 1 || d.Stats().Writes != 1 {
+		t.Fatalf("stats = %+v", d.Stats())
 	}
 }
 
@@ -104,8 +104,8 @@ func TestWritePulseAccounting(t *testing.T) {
 	if res.Set.PopCount() != 8 || res.Reset.PopCount() != 0 {
 		t.Fatalf("pulse maps: set=%d reset=%d", res.Set.PopCount(), res.Reset.PopCount())
 	}
-	if d.Stats.SetPulses != 8 || d.Stats.ResetPulses != 0 {
-		t.Fatalf("stats = %+v", d.Stats)
+	if d.Stats().SetPulses != 8 || d.Stats().ResetPulses != 0 {
+		t.Fatalf("stats = %+v", d.Stats())
 	}
 	// Now clear 3 of them: 3 RESET pulses.
 	l[0] = 0x1f
@@ -125,9 +125,9 @@ func TestDifferentialWriteSkipsUnchanged(t *testing.T) {
 			return false
 		}
 		d.Write(3, Line(o), NormalWrite)
-		before := d.Stats.CellWrites()
+		before := d.Stats().CellWrites()
 		res := d.Write(3, Line(n), NormalWrite)
-		pulses := d.Stats.CellWrites() - before
+		pulses := d.Stats().CellWrites() - before
 		// Pulses must equal the Hamming distance, never the full line.
 		return int(pulses) == Line(o).Xor(Line(n)).PopCount() &&
 			res.Reset.PopCount()+res.Set.PopCount() == int(pulses)
@@ -142,11 +142,11 @@ func TestCorrectionWearAttribution(t *testing.T) {
 	l[0] = 0xf
 	d.Write(1, l, NormalWrite)
 	d.Write(1, Line{}, CorrectionWrite) // clears 4 bits via RESET
-	if d.Stats.CorrectionWrites != 1 {
-		t.Fatalf("correction writes = %d", d.Stats.CorrectionWrites)
+	if d.Stats().CorrectionWrites != 1 {
+		t.Fatalf("correction writes = %d", d.Stats().CorrectionWrites)
 	}
-	if d.Stats.CorrectionResetPulses != 4 {
-		t.Fatalf("correction reset pulses = %d", d.Stats.CorrectionResetPulses)
+	if d.Stats().CorrectionResetPulses != 4 {
+		t.Fatalf("correction reset pulses = %d", d.Stats().CorrectionResetPulses)
 	}
 }
 
@@ -167,11 +167,11 @@ func TestDisturb(t *testing.T) {
 	if n := d.Disturb(7, flips); n != 0 {
 		t.Fatalf("re-disturb flipped %d cells, want 0", n)
 	}
-	if d.Stats.DisturbedBits != 2 {
-		t.Fatalf("DisturbedBits = %d", d.Stats.DisturbedBits)
+	if d.Stats().DisturbedBits != 2 {
+		t.Fatalf("DisturbedBits = %d", d.Stats().DisturbedBits)
 	}
 	// Disturbance adds no wear.
-	if d.Stats.ResetPulses != 0 || d.Stats.SetPulses != 0 {
+	if d.Stats().ResetPulses != 0 || d.Stats().SetPulses != 0 {
 		t.Fatal("disturbance must not count as programmed pulses")
 	}
 }

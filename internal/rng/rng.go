@@ -77,6 +77,33 @@ func (r *Rand) SplitLabeled(label string) *Rand {
 	return New(r.Uint64() ^ h)
 }
 
+// SplitLabeledSeq derives n children labeled "<prefix>-0" .. "<prefix>-(n-1)",
+// in index order. The parent advances exactly n times regardless of how the
+// children are later consumed, so per-shard streams (e.g. one per PCM bank)
+// stay identical across shard counts and scheduling orders.
+func (r *Rand) SplitLabeledSeq(prefix string, n int) []*Rand {
+	out := make([]*Rand, n)
+	for i := range out {
+		out[i] = r.SplitLabeled(prefix + "-" + itoa(i))
+	}
+	return out
+}
+
+// itoa formats a small non-negative int without importing strconv.
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
 // Float64 returns a uniform value in [0,1) with 53 bits of precision.
 func (r *Rand) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)

@@ -1,6 +1,7 @@
 package rng
 
 import (
+	"fmt"
 	"math"
 	"testing"
 	"testing/quick"
@@ -251,6 +252,40 @@ func TestUint64nBounds(t *testing.T) {
 	for i := 0; i < 10000; i++ {
 		if v := r.Uint64n(7); v >= 7 {
 			t.Fatalf("Uint64n(7) returned %d", v)
+		}
+	}
+}
+
+func TestSplitLabeledSeq(t *testing.T) {
+	// Children must match the equivalent manual SplitLabeled calls and
+	// advance the parent identically.
+	a, b := New(99), New(99)
+	seq := a.SplitLabeledSeq("bank", 16)
+	if len(seq) != 16 {
+		t.Fatalf("got %d children", len(seq))
+	}
+	for i, c := range seq {
+		want := b.SplitLabeled("bank-" + itoa(i))
+		for j := 0; j < 8; j++ {
+			if g, w := c.Uint64(), want.Uint64(); g != w {
+				t.Fatalf("child %d draw %d: %#x != %#x", i, j, g, w)
+			}
+		}
+	}
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("parents diverged after SplitLabeledSeq")
+	}
+	// Distinct children must be decorrelated.
+	c0 := New(5).SplitLabeledSeq("bank", 2)
+	if c0[0].Uint64() == c0[1].Uint64() {
+		t.Fatal("bank-0 and bank-1 produced identical first draws")
+	}
+}
+
+func TestItoa(t *testing.T) {
+	for _, v := range []int{0, 1, 9, 10, 15, 123, 1 << 20} {
+		if got, want := itoa(v), fmt.Sprint(v); got != want {
+			t.Fatalf("itoa(%d) = %q, want %q", v, got, want)
 		}
 	}
 }

@@ -46,6 +46,12 @@ type Base struct {
 	// bank × line-region accumulation in sim.Result.Heatmap). Part of the
 	// cache key, like the other observability toggles.
 	HeatmapRegions int
+	// Shards selects the intra-run bank-sharded executor for every point
+	// (see sim.Config.Shards; <=1 runs single-goroutine). Deliberately NOT
+	// part of the cache key: the executor contract is a byte-identical
+	// Result at every shard count, so points differing only in Shards are
+	// the same point.
+	Shards int
 }
 
 func (b Base) normalized() Base {
@@ -97,6 +103,7 @@ func (s Spec) Resolve(b Base) sim.Config {
 		CollectMetrics: b.CollectMetrics,
 		TraceEvents:    b.TraceEvents,
 		HeatmapRegions: b.HeatmapRegions,
+		Shards:         b.Shards,
 	}
 }
 

@@ -17,13 +17,19 @@ import (
 var updateEquivalence = flag.Bool("update-equivalence", false,
 	"rewrite testdata/equivalence.golden from the current simulator")
 
-// equivalenceFixture is the pinned pre-refactor behaviour: one fingerprint
-// per Figure 11 scheme × benchmark, covering the full Result (controller,
+// equivalenceFixture is the pinned simulator behaviour: one fingerprint per
+// Figure 11 scheme × benchmark, covering the full Result (controller,
 // device, ECP and WD statistics, cycle counts, CPI) plus the rendered
-// metrics snapshot. Any refactor of the write path must reproduce these
+// metrics snapshot. The same hash must hold at every Config.Shards value —
+// the sweep cross-checks the sharded executor against the inline one before
+// pinning. Any refactor of the write path must reproduce these
 // byte-for-byte; refresh intentional simulator changes with
 //
 //	go test ./internal/sim -run TestWritePathEquivalence -update-equivalence
+//
+// Last regenerated for the bank-sharded executor: per-run RNG became
+// per-bank labeled streams (root → "mc" → "bank-<b>"), a sanctioned
+// one-time stochastic change.
 const equivalenceFixture = "testdata/equivalence.golden"
 
 func equivalencePoints() []struct {
@@ -82,7 +88,16 @@ func TestWritePathEquivalence(t *testing.T) {
 			CollectMetrics: true,
 		}
 		r := run(t, cfg)
-		fmt.Fprintf(&out, "%s|%s %s\n", pt.scheme.Name, pt.bench, fingerprint(t, r))
+		fp := fingerprint(t, r)
+		// The sharded executor must land on the same fingerprint: the fixture
+		// pins one hash per point that holds at every shard count.
+		sharded := cfg
+		sharded.Shards = 8
+		if sfp := fingerprint(t, run(t, sharded)); sfp != fp {
+			t.Errorf("%s|%s: Shards=8 fingerprint %s != inline %s",
+				pt.scheme.Name, pt.bench, sfp, fp)
+		}
+		fmt.Fprintf(&out, "%s|%s %s\n", pt.scheme.Name, pt.bench, fp)
 	}
 	got := out.String()
 	if *updateEquivalence {

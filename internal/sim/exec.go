@@ -1,0 +1,301 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"sdpcm/internal/alloc"
+	"sdpcm/internal/pcm"
+	"sdpcm/internal/workload"
+)
+
+// bankExec executes memory-system operations against the bank plane. The
+// orchestrator (core model, address translation, wear leveling, mutation
+// drawing) issues ops in global program order; an executor must apply the
+// ops touching any one bank in exactly that order. Two implementations:
+// inlineExec applies every op at issue time on the calling goroutine
+// (Config.Shards <= 1); shardExec batches ops to per-shard-group goroutines
+// under a conservative bounded-lag window (cores couple shards only through
+// blocking reads, which rendezvous, and posted writes, which may lag).
+type bankExec interface {
+	// read performs a blocking demand read and returns its completion time
+	// and data. logical keys the integrity shadow; err reports a shadow
+	// mismatch, surfaced in program order.
+	read(now uint64, addr, logical pcm.LineAddr) (uint64, pcm.Line, error)
+	// write posts a write of the pre-drawn mutation applied to the line's
+	// latest queued-or-stored content.
+	write(now uint64, addr, logical pcm.LineAddr, m workload.Mutation)
+	// copyLine posts a Start-Gap line copy (same bank: Start-Gap rotates
+	// slots within a row).
+	copyLine(now uint64, from, to pcm.LineAddr)
+	// ownerChange broadcasts an allocator region-ownership mutation, ordered
+	// before every op issued after it.
+	ownerChange(regionStart int, t alloc.Tag, present bool)
+	// barrier blocks until every posted op has been applied, so the plane
+	// can be snapshotted consistently.
+	barrier()
+	// close flushes and joins; the plane may be accessed directly after.
+	close()
+	// shadows returns the integrity shadow maps (post-close; nil entries
+	// when integrity checking is off).
+	shadows() []map[pcm.LineAddr]pcm.Line
+}
+
+func integrityReadErr(logical pcm.LineAddr) error {
+	return fmt.Errorf("sim: integrity violation: read of line %d returned corrupted data", logical)
+}
+
+// inlineExec runs the per-bank-decomposed plane on the calling goroutine.
+// The live allocator is each controller's RegionResolver: ops execute at
+// issue time, when mirror state and allocator state would coincide anyway.
+type inlineExec struct {
+	p      *bankPlane
+	shadow map[pcm.LineAddr]pcm.Line
+}
+
+func newInlineExec(p *bankPlane, integrity bool) *inlineExec {
+	e := &inlineExec{p: p}
+	if integrity {
+		e.shadow = make(map[pcm.LineAddr]pcm.Line)
+	}
+	return e
+}
+
+func (e *inlineExec) read(now uint64, addr, logical pcm.LineAddr) (uint64, pcm.Line, error) {
+	done, data := e.p.ctrlFor(addr).Read(now, addr)
+	if e.shadow != nil {
+		if want, ok := e.shadow[logical]; ok && data != want {
+			return done, data, integrityReadErr(logical)
+		}
+	}
+	return done, data, nil
+}
+
+func (e *inlineExec) write(now uint64, addr, logical pcm.LineAddr, m workload.Mutation) {
+	ctrl := e.p.ctrlFor(addr)
+	data := pcm.Line(m.Apply([8]uint64(ctrl.LatestData(addr))))
+	ctrl.Write(now, addr, data)
+	if e.shadow != nil {
+		e.shadow[logical] = data
+	}
+}
+
+func (e *inlineExec) copyLine(now uint64, from, to pcm.LineAddr) {
+	ctrl := e.p.ctrlFor(to)
+	ctrl.Write(now, to, ctrl.LatestData(from))
+}
+
+func (e *inlineExec) ownerChange(int, alloc.Tag, bool) {} // live allocator resolves
+func (e *inlineExec) barrier()                         {}
+func (e *inlineExec) close()                           {}
+
+func (e *inlineExec) shadows() []map[pcm.LineAddr]pcm.Line {
+	return []map[pcm.LineAddr]pcm.Line{e.shadow}
+}
+
+// Sharded execution tuning. opBatch bounds how many posted ops accumulate
+// before a shard's batch is published; inFlightBatches bounds how far a
+// shard may lag the orchestrator (the conservative window): the orchestrator
+// blocks rather than let a shard fall further behind, keeping memory bounded
+// without affecting results (order per bank, not timing, determines state).
+const (
+	opBatch         = 64
+	inFlightBatches = 4
+	freeBufDepth    = 8
+)
+
+type opKind uint8
+
+const (
+	opWrite opKind = iota
+	opRead
+	opCopy
+	opTag
+	opBarrier
+)
+
+// op is one element of a shard's ordered work stream.
+type op struct {
+	kind    opKind
+	now     uint64
+	addr    pcm.LineAddr // target line (read/write), copy destination
+	from    pcm.LineAddr // copy source
+	logical pcm.LineAddr // pre-wear-leveling address keying the shadow
+	m       workload.Mutation
+
+	region  int // opTag payload
+	tag     alloc.Tag
+	present bool
+}
+
+// readReply is the rendezvous payload for opRead and opBarrier.
+type readReply struct {
+	done uint64
+	data pcm.Line
+	err  error
+}
+
+// shardWorker owns one shard group's banks: bank b belongs to shard
+// b % numShards. Exactly one goroutine applies its op stream, so each bank's
+// controller sees its ops in posted order — global program order restricted
+// to that bank — and per-bank state evolves identically to inline execution.
+type shardWorker struct {
+	in      chan []op
+	replies chan readReply // cap 1: at most one outstanding read/barrier
+	freeBuf chan []op
+	pending []op
+	shadow  map[pcm.LineAddr]pcm.Line
+	mirror  *tagMirror
+}
+
+// shardExec partitions the plane's banks over numShards worker goroutines.
+type shardExec struct {
+	p      *bankPlane
+	shards []*shardWorker
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// newShardExec starts the workers. mirrors[s] must be the RegionResolver the
+// plane's shard-s controllers were built with.
+func newShardExec(p *bankPlane, mirrors []*tagMirror, integrity bool) *shardExec {
+	e := &shardExec{p: p, shards: make([]*shardWorker, len(mirrors))}
+	for s := range e.shards {
+		w := &shardWorker{
+			in:      make(chan []op, inFlightBatches),
+			replies: make(chan readReply, 1),
+			freeBuf: make(chan []op, freeBufDepth),
+			pending: make([]op, 0, opBatch),
+			mirror:  mirrors[s],
+		}
+		if integrity {
+			w.shadow = make(map[pcm.LineAddr]pcm.Line)
+		}
+		e.shards[s] = w
+		e.wg.Add(1)
+		go w.loop(p, &e.wg)
+	}
+	return e
+}
+
+func (w *shardWorker) loop(p *bankPlane, wg *sync.WaitGroup) {
+	defer wg.Done()
+	for batch := range w.in {
+		for i := range batch {
+			o := &batch[i]
+			switch o.kind {
+			case opWrite:
+				ctrl := p.ctrlFor(o.addr)
+				data := pcm.Line(o.m.Apply([8]uint64(ctrl.LatestData(o.addr))))
+				ctrl.Write(o.now, o.addr, data)
+				if w.shadow != nil {
+					w.shadow[o.logical] = data
+				}
+			case opRead:
+				ctrl := p.ctrlFor(o.addr)
+				done, data := ctrl.Read(o.now, o.addr)
+				var err error
+				if w.shadow != nil {
+					if want, ok := w.shadow[o.logical]; ok && data != want {
+						err = integrityReadErr(o.logical)
+					}
+				}
+				w.replies <- readReply{done: done, data: data, err: err}
+			case opCopy:
+				ctrl := p.ctrlFor(o.addr)
+				ctrl.Write(o.now, o.addr, ctrl.LatestData(o.from))
+			case opTag:
+				w.mirror.apply(o.region, o.tag, o.present)
+			case opBarrier:
+				w.replies <- readReply{}
+			}
+		}
+		select {
+		case w.freeBuf <- batch[:0]:
+		default: // ring full; let the GC take it
+		}
+	}
+}
+
+func (e *shardExec) shardFor(a pcm.LineAddr) *shardWorker {
+	return e.shards[bankOf(a)%len(e.shards)]
+}
+
+// flush publishes a shard's pending ops and hands the orchestrator a fresh
+// (usually recycled) accumulation buffer.
+func (e *shardExec) flush(w *shardWorker) {
+	if len(w.pending) == 0 {
+		return
+	}
+	w.in <- w.pending
+	select {
+	case w.pending = <-w.freeBuf:
+	default:
+		w.pending = make([]op, 0, opBatch)
+	}
+}
+
+func (e *shardExec) post(w *shardWorker, o op) {
+	w.pending = append(w.pending, o)
+	if len(w.pending) >= opBatch {
+		e.flush(w)
+	}
+}
+
+func (e *shardExec) read(now uint64, addr, logical pcm.LineAddr) (uint64, pcm.Line, error) {
+	w := e.shardFor(addr)
+	w.pending = append(w.pending, op{kind: opRead, now: now, addr: addr, logical: logical})
+	e.flush(w)
+	r := <-w.replies
+	return r.done, r.data, r.err
+}
+
+func (e *shardExec) write(now uint64, addr, logical pcm.LineAddr, m workload.Mutation) {
+	e.post(e.shardFor(addr), op{kind: opWrite, now: now, addr: addr, logical: logical, m: m})
+}
+
+func (e *shardExec) copyLine(now uint64, from, to pcm.LineAddr) {
+	// Start-Gap rotates a line within its row: from and to share a bank, so
+	// the copy is a single-shard op and LatestData(from) at application time
+	// sees exactly the bank state an inline copy would.
+	e.post(e.shardFor(to), op{kind: opCopy, now: now, addr: to, from: from})
+}
+
+func (e *shardExec) ownerChange(regionStart int, t alloc.Tag, present bool) {
+	// A marking region spans whole pages across every bank, so ownership
+	// updates are broadcast: each shard's mirror applies them in-band, ahead
+	// of any op issued after the allocator mutated.
+	for _, w := range e.shards {
+		e.post(w, op{kind: opTag, region: regionStart, tag: t, present: present})
+	}
+}
+
+func (e *shardExec) barrier() {
+	for _, w := range e.shards {
+		w.pending = append(w.pending, op{kind: opBarrier})
+		e.flush(w)
+	}
+	for _, w := range e.shards {
+		<-w.replies
+	}
+}
+
+func (e *shardExec) close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	for _, w := range e.shards {
+		e.flush(w)
+		close(w.in)
+	}
+	e.wg.Wait()
+}
+
+func (e *shardExec) shadows() []map[pcm.LineAddr]pcm.Line {
+	out := make([]map[pcm.LineAddr]pcm.Line, len(e.shards))
+	for i, w := range e.shards {
+		out[i] = w.shadow
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"math"
+	"runtime"
+	"testing"
+
+	"sdpcm/internal/alloc"
+	"sdpcm/internal/core"
+	"sdpcm/internal/metrics"
+	"sdpcm/internal/trace"
+	"sdpcm/internal/workload"
+)
+
+// fullFingerprint extends fingerprint with the heatmap, so the shard
+// contract — byte-identical stats, metrics snapshot, event trace AND
+// heatmap — is pinned by one hash.
+func fullFingerprint(t *testing.T, r Result) string {
+	t.Helper()
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\n", fingerprint(t, r))
+	if r.Heatmap != nil {
+		b, err := json.Marshal(r.Heatmap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Write(b)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// TestShardDeterminismMatrix is the executor contract: the same Config
+// produces a byte-identical Result — statistics, metrics snapshot, event
+// trace tail, heatmap — at every shard count and GOMAXPROCS. Run under
+// -race in CI to double as the executor's data-race check.
+func TestShardDeterminismMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix sweep is not short")
+	}
+	cfg := quickCfg(core.AllThree(6, alloc.Tag23), "mcf")
+	cfg.RefsPerCore = 2000
+	cfg.CollectMetrics = true
+	cfg.TraceEvents = 32
+	cfg.HeatmapRegions = 8
+	cfg.CheckIntegrity = true
+	cfg.WearLevelPsi = 64
+
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	var want string
+	for _, procs := range []int{1, 4} {
+		runtime.GOMAXPROCS(procs)
+		for _, shards := range []int{1, 2, 4, 8, 16} {
+			c := cfg
+			c.Shards = shards
+			got := fullFingerprint(t, run(t, c))
+			if want == "" {
+				want = got
+				continue
+			}
+			if got != want {
+				t.Errorf("GOMAXPROCS=%d Shards=%d: fingerprint %s != %s", procs, shards, got, want)
+			}
+		}
+	}
+}
+
+// TestShardsClamped: shard counts above the bank count behave like 16.
+func TestShardsClamped(t *testing.T) {
+	cfg := quickCfg(core.Baseline(), "lbm")
+	cfg.RefsPerCore = 500
+	a := cfg
+	a.Shards = 64
+	b := cfg
+	b.Shards = 16
+	if fullFingerprint(t, run(t, a)) != fullFingerprint(t, run(t, b)) {
+		t.Fatal("Shards above pcm.NumBanks must clamp to the bank count")
+	}
+}
+
+// TestShardedRunErrorJoinsWorkers: a run that fails mid-flight (here: the
+// allocator runs out of memory during translation) must join its shard
+// goroutines on the way out — no leaks, no deadlock.
+func TestShardedRunErrorJoinsWorkers(t *testing.T) {
+	cfg := quickCfg(core.Baseline(), "mcf")
+	cfg.Shards = 4
+	cfg.MemPages = 1 << 12 // too small for 4 mcf footprints → allocator OOM
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("expected allocation failure")
+	}
+	// The deferred close joined the workers; a second run must be clean.
+	cfg.MemPages = 1 << 16
+	run(t, cfg)
+}
+
+// TestCPIEmptyReplayStreams is the Result.CPI divide-by-zero regression: a
+// replay whose streams are all empty must report CPI 0, not NaN, so JSON
+// output stays valid.
+func TestCPIEmptyReplayStreams(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		cfg := Config{
+			Scheme:      core.Baseline(),
+			Streams:     []trace.Stream{trace.NewSliceStream(nil), trace.NewSliceStream(nil)},
+			RefsPerCore: 100,
+			MemPages:    1 << 16,
+			RegionPages: 1024,
+			Seed:        3,
+			Shards:      shards,
+		}
+		r := run(t, cfg)
+		if math.IsNaN(r.CPI) || r.CPI != 0 {
+			t.Fatalf("shards=%d: CPI = %v for empty replay, want 0", shards, r.CPI)
+		}
+		if r.Instructions != 0 || r.MC.WriteOps != 0 {
+			t.Fatalf("shards=%d: empty replay did work: %+v", shards, r)
+		}
+	}
+}
+
+// TestShardedTraceReplay covers the replay Mutator path (pre-drawn
+// mutations) under sharding.
+func TestShardedTraceReplay(t *testing.T) {
+	spec, err := workload.ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := workload.NewGenerator(spec, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := workload.Capture(g, 3000)
+	mk := func(shards int) Result {
+		cfg := Config{
+			Scheme:         core.LazyC(6),
+			Streams:        []trace.Stream{trace.NewSliceStream(recs)},
+			RefsPerCore:    len(recs),
+			MemPages:       1 << 16,
+			RegionPages:    1024,
+			Seed:           13,
+			Shards:         shards,
+			CollectMetrics: true,
+		}
+		return run(t, cfg)
+	}
+	if fullFingerprint(t, mk(1)) != fullFingerprint(t, mk(8)) {
+		t.Fatal("trace replay diverged between 1 and 8 shards")
+	}
+}
+
+// TestShardedSnapshotsMatchInline: mid-run snapshots are taken behind a
+// shard barrier, so their content must be byte-identical to the inline
+// executor's snapshots at the same simulated points.
+func TestShardedSnapshotsMatchInline(t *testing.T) {
+	capture := func(shards int) [][]byte {
+		var snaps [][]byte
+		cfg := quickCfg(core.LazyC(6), "mcf")
+		cfg.RefsPerCore = 2000
+		cfg.Shards = shards
+		cfg.SnapshotInterval = 50000
+		cfg.OnSnapshot = func(s *metrics.Snapshot) {
+			var buf bytes.Buffer
+			if err := s.WriteJSON(&buf); err != nil {
+				t.Fatal(err)
+			}
+			snaps = append(snaps, buf.Bytes())
+		}
+		run(t, cfg)
+		return snaps
+	}
+	inline, sharded := capture(1), capture(8)
+	if len(inline) < 2 {
+		t.Fatalf("only %d snapshots captured", len(inline))
+	}
+	if len(inline) != len(sharded) {
+		t.Fatalf("snapshot count diverged: %d inline, %d sharded", len(inline), len(sharded))
+	}
+	for i := range inline {
+		if !bytes.Equal(inline[i], sharded[i]) {
+			t.Fatalf("snapshot %d diverged between inline and 8 shards", i)
+		}
+	}
+}

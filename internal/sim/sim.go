@@ -54,6 +54,15 @@ type Config struct {
 	RegionPages int
 	// WriteQueueCap per bank (default 32, Table 2).
 	WriteQueueCap int
+	// Shards selects the intra-run parallel executor: banks are partitioned
+	// into Shards groups (bank b → shard b % Shards), each group's
+	// controller work running on its own goroutine behind a conservative
+	// bounded-lag window. Shards <= 1 runs the same per-bank-decomposed code
+	// on one goroutine; values above pcm.NumBanks are clamped. The Result is
+	// byte-identical — stats, metrics snapshot, event trace, heatmap —
+	// across every shard count and GOMAXPROCS: sharding changes wall-clock
+	// speed, never simulated behavior.
+	Shards int
 	// Seed drives every stochastic element of the run.
 	Seed uint64
 	// CoreTags overrides the allocator tag per core (§4.4's usage model:
@@ -203,10 +212,13 @@ func (r Result) ECPChipLifetime() float64 {
 	return base / (base + extra)
 }
 
-// mutator synthesises write-back payloads; live generators and the
-// replay Mutator both satisfy it.
+// mutator synthesises write-back payloads; live generators and the replay
+// Mutator both satisfy it. Payloads are drawn (consuming the per-core RNG in
+// program order, on the orchestrator goroutine) separately from their
+// application to the line's latest content (on whichever goroutine owns the
+// bank).
 type mutator interface {
-	MutateLine(old [8]uint64) [8]uint64
+	DrawMutation() workload.Mutation
 }
 
 // corePending is the per-core event state.
@@ -256,21 +268,39 @@ func Run(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	ctrl, err := mc.New(cfg.Scheme.MCConfig(cfg.WriteQueueCap), dev, allocator, root.SplitLabeled("mc"))
+	// Per-bank RNG streams: the root's "mc" child seeds one labeled stream
+	// per bank, so a bank's stochastic disturbance draws depend only on
+	// (seed, bank, that bank's op sequence) — never on global call order —
+	// which is what makes results shard-count invariant.
+	bankRngs := root.SplitLabeled("mc").SplitLabeledSeq("bank", pcm.NumBanks)
+
+	shards := cfg.Shards
+	if shards > pcm.NumBanks {
+		shards = pcm.NumBanks
+	}
+	var mirrors []*tagMirror
+	resolve := func(bank int) mc.RegionResolver { return allocator }
+	if shards > 1 {
+		mirrors = make([]*tagMirror, shards)
+		for s := range mirrors {
+			mirrors[s] = newTagMirror(allocator)
+		}
+		resolve = func(bank int) mc.RegionResolver { return mirrors[bank%shards] }
+	}
+	p, err := newBankPlane(cfg, dev, resolve, bankRngs)
 	if err != nil {
 		return Result{}, err
 	}
-	var reg *metrics.Registry
-	if cfg.CollectMetrics || cfg.TraceEvents > 0 || cfg.SnapshotInterval > 0 {
-		reg = metrics.New()
-		reg.EnableTrace(cfg.TraceEvents)
-		ctrl.Instrument(reg)
+	var exec bankExec
+	if shards > 1 {
+		se := newShardExec(p, mirrors, cfg.CheckIntegrity)
+		allocator.OnOwnerChange = se.ownerChange
+		exec = se
+	} else {
+		exec = newInlineExec(p, cfg.CheckIntegrity)
 	}
-	var hm *wd.Heatmap
-	if cfg.HeatmapRegions > 0 {
-		hm = wd.NewHeatmap(cfg.HeatmapRegions, dev.RowsPerBank)
-		ctrl.InstrumentHeatmap(hm)
-	}
+	defer exec.close() // idempotent; joins shard goroutines on error paths
+
 	type coreSrc struct {
 		stream trace.Stream
 		mut    mutator
@@ -317,10 +347,6 @@ func Run(cfg Config) (Result, error) {
 	if len(cfg.Streams) > 0 {
 		mixName = "trace-replay"
 	}
-	var shadow map[pcm.LineAddr]pcm.Line
-	if cfg.CheckIntegrity {
-		shadow = make(map[pcm.LineAddr]pcm.Line)
-	}
 	var wl *weargap.IntraRow
 	if cfg.WearLevelPsi > 0 {
 		wl, err = weargap.NewIntraRow(cfg.WearLevelPsi)
@@ -339,36 +365,18 @@ func Run(cfg Config) (Result, error) {
 	}
 	res := Result{Scheme: cfg.Scheme.Name, Mix: mixName}
 
-	// liveSnapshot assembles a mid-run snapshot at simulated cycle now: the
-	// module Stats structs (normally published once at end of run) are
-	// rendered into a scratch registry and merged with the live registry's
-	// histograms and event tail. Deterministic like the final snapshot.
-	liveSnapshot := func(now uint64) *metrics.Snapshot {
-		tmp := metrics.New()
-		ctrl.Stats.Publish(tmp)
-		dev.Stats.Publish(tmp)
-		ctrl.ECP().Stats.Publish(tmp)
-		ctrl.Engine().Stats.Publish(tmp)
-		var instrs, tlb, faults uint64
+	// sumCounters gathers the orchestrator-side snapshot contribution.
+	sumCounters := func(now uint64) simCounters {
+		sc := simCounters{cycles: now}
 		for _, c := range cores {
-			instrs += c.instrs
-			tlb += c.as.TLB.Misses
-			faults += c.as.Faults
+			sc.instructions += c.instrs
+			sc.tlbMisses += c.as.TLB.Misses
+			sc.pageFaults += c.as.Faults
 		}
-		tmp.Counter("sim.instructions").Add(instrs)
-		tmp.Counter("sim.tlb_misses").Add(tlb)
-		tmp.Counter("sim.page_faults").Add(faults)
-		var moves uint64
 		if wl != nil {
-			moves = wl.Moves
+			sc.wearMoves = wl.Moves
 		}
-		tmp.Counter("sim.wear_moves").Add(moves)
-		tmp.Gauge("sim.cycles").Set(now)
-		live := reg.Snapshot()
-		s := tmp.Snapshot().Merge(live)
-		s.Events = live.Events
-		s.EventsDropped = live.EventsDropped
-		return s
+		return sc
 	}
 	snapshotting := cfg.SnapshotInterval > 0 && cfg.OnSnapshot != nil
 	nextSnap := cfg.SnapshotInterval
@@ -389,25 +397,20 @@ func Run(cfg Config) (Result, error) {
 		}
 		addr := remap(logical)
 		if rec.Kind == trace.Read {
-			done, data := ctrl.Read(c.time, addr)
+			done, _, err := exec.read(c.time, addr, logical)
+			if err != nil {
+				return Result{}, err
+			}
 			c.time = done // blocking load
-			if shadow != nil {
-				if want, ok := shadow[logical]; ok && data != want {
-					return Result{}, fmt.Errorf("sim: integrity violation: read of line %d returned corrupted data", logical)
-				}
-			}
 		} else {
-			data := c.mut.MutateLine([8]uint64(ctrl.LatestData(addr)))
-			ctrl.Write(c.time, addr, pcm.Line(data))
+			m := c.mut.DrawMutation()
+			exec.write(c.time, addr, logical, m)
 			c.time++
-			if shadow != nil {
-				shadow[logical] = pcm.Line(data)
-			}
 			if wl != nil {
 				if from, to, moved := wl.NoteWrite(addr); moved {
 					// Start-Gap copy, routed through the controller so it
 					// forwards from queued writes and undergoes VnC.
-					ctrl.Write(c.time, to, ctrl.LatestData(from))
+					exec.copyLine(c.time, from, to)
 				}
 			}
 		}
@@ -418,12 +421,16 @@ func Run(cfg Config) (Result, error) {
 			heap.Fix(&h, 0)
 		}
 		if snapshotting && c.time >= nextSnap {
-			cfg.OnSnapshot(liveSnapshot(c.time))
+			// Quiesce the shards so the plane state is exactly the inline
+			// state at this point in program order, then snapshot it.
+			exec.barrier()
+			cfg.OnSnapshot(p.assembleSnapshot(sumCounters(c.time)))
 			for nextSnap <= c.time {
 				nextSnap += cfg.SnapshotInterval
 			}
 		}
 	}
+	exec.close()
 
 	var maxEnd uint64
 	var cpiSum float64
@@ -436,11 +443,13 @@ func Run(cfg Config) (Result, error) {
 		res.TLBMisses += c.as.TLB.Misses
 		res.PageFaults += c.as.Faults
 	}
-	end := ctrl.Flush(maxEnd)
-	if shadow != nil {
-		for logical, want := range shadow {
-			if got := ctrl.PeekData(remap(logical)); got != want {
-				return Result{}, fmt.Errorf("sim: integrity violation: line %d corrupted after flush (WD escaped VnC)", logical)
+	end := p.flushAll(maxEnd)
+	if cfg.CheckIntegrity {
+		for _, sh := range exec.shadows() {
+			for logical, want := range sh {
+				if got := p.ctrlFor(remap(logical)).PeekData(remap(logical)); got != want {
+					return Result{}, fmt.Errorf("sim: integrity violation: line %d corrupted after flush (WD escaped VnC)", logical)
+				}
 			}
 		}
 	}
@@ -448,27 +457,23 @@ func Run(cfg Config) (Result, error) {
 		res.WearMoves = wl.Moves
 	}
 	res.Cycles = end
-	res.CPI = cpiSum / float64(len(cores))
-	res.MC = ctrl.Stats
-	res.Dev = dev.Stats
-	res.ECP = ctrl.ECP().Stats
-	res.WD = ctrl.Engine().Stats
-	if reg != nil {
-		res.MC.Publish(reg)
-		res.Dev.Publish(reg)
-		res.ECP.Publish(reg)
-		res.WD.Publish(reg)
-		reg.Counter("sim.instructions").Add(res.Instructions)
-		reg.Counter("sim.tlb_misses").Add(res.TLBMisses)
-		reg.Counter("sim.page_faults").Add(res.PageFaults)
-		reg.Counter("sim.wear_moves").Add(res.WearMoves)
-		reg.Gauge("sim.cycles").Set(res.Cycles)
-		res.Metrics = reg.Snapshot()
+	if len(cores) > 0 {
+		res.CPI = cpiSum / float64(len(cores))
+	}
+	res.MC, res.Dev, res.ECP, res.WD = p.mergedStats()
+	if p.collecting() {
+		res.Metrics = p.assembleSnapshot(simCounters{
+			cycles:       res.Cycles,
+			instructions: res.Instructions,
+			tlbMisses:    res.TLBMisses,
+			pageFaults:   res.PageFaults,
+			wearMoves:    res.WearMoves,
+		})
 		if cfg.OnSnapshot != nil {
 			cfg.OnSnapshot(res.Metrics)
 		}
 	}
-	res.Heatmap = hm.Snapshot()
+	res.Heatmap = p.hm.Snapshot()
 	return res, nil
 }
 

@@ -57,6 +57,19 @@ type Stats struct {
 	MaxBitLinePerLine   int
 }
 
+// Add accumulates another Stats value: counters sum, worst-case fields take
+// the max. Order-independent, so per-bank engine shards merge commutatively.
+func (s *Stats) Add(o Stats) {
+	s.WritesObserved += o.WritesObserved
+	s.InLineErrors += o.InLineErrors
+	s.EdgeErrors += o.EdgeErrors
+	s.RewritePulses += o.RewritePulses
+	s.EdgeHealPulses += o.EdgeHealPulses
+	s.BitLineFlips += o.BitLineFlips
+	s.MaxWordLinePerWrite = max(s.MaxWordLinePerWrite, o.MaxWordLinePerWrite)
+	s.MaxBitLinePerLine = max(s.MaxBitLinePerLine, o.MaxBitLinePerLine)
+}
+
 // Engine injects disturbance for one DIMM. Not safe for concurrent use.
 type Engine struct {
 	Rates thermal.Rates

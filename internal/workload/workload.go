@@ -216,24 +216,7 @@ func (m *Mutator) MutateLine(old [8]uint64) [8]uint64 {
 }
 
 func mutate(rnd *rng.Rand, prob float64, old [8]uint64) [8]uint64 {
-	out := old
-	changed := false
-	for w := range out {
-		for c := uint(0); c < 4; c++ {
-			if rnd.Bernoulli(prob) {
-				fresh := rnd.Uint64() & 0xffff
-				out[w] = out[w]&^(uint64(0xffff)<<(16*c)) | fresh<<(16*c)
-				changed = true
-			}
-		}
-	}
-	if !changed {
-		i := rnd.Uint64n(32)
-		w, c := i/4, uint(i%4)
-		fresh := rnd.Uint64() & 0xffff
-		out[w] = out[w]&^(uint64(0xffff)<<(16*c)) | fresh<<(16*c)
-	}
-	return out
+	return DrawMutation(rnd, prob).Apply(old)
 }
 
 // Capture materialises n records from the generator into a slice.

@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	benchgate -emit bench.txt > BENCH_5.json
-//	benchgate -gate -old main.json -new BENCH_5.json -threshold 10
+//	benchgate -emit bench.txt > BENCH_6.json
+//	benchgate -gate -old main.json -new BENCH_6.json -threshold 10
 //
 // Emit mode aggregates repeated runs (-count N) of each benchmark into the
 // median of every published metric, so one noisy run does not skew the
