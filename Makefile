@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json golden check-golden bench-record obs-smoke lint ci
+.PHONY: build test race bench bench-json golden check-golden bench-record obs-smoke resume-smoke lint ci
 
 build:
 	$(GO) build ./...
@@ -24,12 +24,16 @@ bench:
 # because go test splits the -bench regex on '/'.
 BENCH_PIN = BenchmarkDevicePeek$$|BenchmarkDeviceWrite$$|BenchmarkDeviceDisturb$$|BenchmarkWDInject$$|BenchmarkWritePath$$|BenchmarkSimulatorThroughput$$|BenchmarkSimRunSharded$$
 
+# Where bench-json records the per-benchmark medians; the CI bench-gate sets
+# it explicitly so the Makefile and workflow can never disagree on the name.
+BENCH_OUT ?= BENCH_6.json
+
 # Run the pinned set three times, keep the raw text (bench.txt, what
-# benchstat consumes) and record per-benchmark medians as BENCH_6.json.
+# benchstat consumes) and record per-benchmark medians as $(BENCH_OUT).
 bench-json:
 	$(GO) test -run '^$$' -bench '$(BENCH_PIN)' -benchtime 200ms -count 3 \
 		./internal/pcm ./internal/wd ./internal/mc . > bench.txt
-	$(GO) run ./scripts/benchgate -emit bench.txt > BENCH_6.json
+	$(GO) run ./scripts/benchgate -emit bench.txt > $(BENCH_OUT)
 
 # Refresh the pinned golden tables after an intentional simulator change.
 golden:
@@ -44,6 +48,12 @@ check-golden:
 obs-smoke:
 	./scripts/obs_smoke.sh
 
+# Kill a checkpointing sdpcm-sim run with SIGKILL at ~50%, resume it, and
+# diff the output byte-for-byte against an uninterrupted run — plain and
+# -race builds, Shards=1 and Shards=4 (the CI resume-determinism job).
+resume-smoke:
+	./scripts/resume_smoke.sh
+
 # Emit one point of the performance trajectory (BENCH_ci.json).
 bench-record:
 	$(GO) run ./cmd/sdpcm-bench -exp fig11 -refs 2000 -cores 4 \
@@ -55,4 +65,4 @@ lint:
 	test -z "$$(gofmt -l .)"
 	$(GO) run ./scripts/archcheck.go
 
-ci: build lint race check-golden bench obs-smoke
+ci: build lint race check-golden bench obs-smoke resume-smoke

@@ -125,27 +125,29 @@ func main() { os.Exit(run()) }
 // path.
 func run() int {
 	var (
-		exp      = flag.String("exp", "all", "comma-separated experiment list, or 'all'")
-		refs     = flag.Int("refs", 6000, "main-memory references per core per run (paper: 10M)")
-		cores    = flag.Int("cores", 8, "cores in the CMP")
-		seed     = flag.Uint64("seed", 42, "root random seed")
-		bench    = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all of Table 3)")
-		schemes  = flag.String("schemes", "", "comma-separated scheme roster override for fig11/fig19 (registry names; default: the published roster)")
-		memMB    = flag.Int("mem-mb", 512, "simulated PCM capacity in MB")
-		region   = flag.Int("region-pages", 1024, "(n:m) marking-region size in pages (paper: 16384 = 64MB)")
-		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = all cores, 1 = sequential; results are identical)")
-		shards   = flag.Int("shards", 1, "bank-shard worker goroutines inside each simulation (0 = min(banks, GOMAXPROCS), 1 = single-goroutine; results are byte-identical)")
-		progress = flag.Bool("progress", false, "stream one line per completed simulation point to stderr")
-		noCache  = flag.Bool("no-cache", false, "disable result memoization (re-simulate points shared between figures)")
-		metricf  = flag.String("metrics", "", "emit the aggregated metrics snapshot after the tables: 'json' or 'table'")
-		trEv     = flag.Int("trace-events", 0, "keep the last N controller events per simulation point")
-		benchOut = flag.String("bench-json", "", "write a machine-readable run record (wall time, sims, cache hits, metrics) to this file")
-		listen   = flag.String("listen", "", "serve live /metrics, /progress, /events and /debug/pprof on this address (e.g. :8080) while the sweep runs")
-		heatTab  = flag.Bool("heatmap", false, "append the merged WD spatial heatmap (per-bank x line-region) as an ASCII table")
-		heatOut  = flag.String("heatmap-json", "", "write the merged WD spatial heatmap as JSON to this file")
-		heatReg  = flag.Int("heatmap-regions", 16, "line-regions per bank in the WD heatmap")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
-		memProf  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		exp       = flag.String("exp", "all", "comma-separated experiment list, or 'all'")
+		refs      = flag.Int("refs", 6000, "main-memory references per core per run (paper: 10M)")
+		cores     = flag.Int("cores", 8, "cores in the CMP")
+		seed      = flag.Uint64("seed", 42, "root random seed")
+		bench     = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all of Table 3)")
+		schemes   = flag.String("schemes", "", "comma-separated scheme roster override for fig11/fig19 (registry names; default: the published roster)")
+		memMB     = flag.Int("mem-mb", 512, "simulated PCM capacity in MB")
+		region    = flag.Int("region-pages", 1024, "(n:m) marking-region size in pages (paper: 16384 = 64MB)")
+		parallel  = flag.Int("parallel", 0, "concurrent simulations (0 = all cores, 1 = sequential; results are identical)")
+		shards    = flag.Int("shards", 1, "bank-shard worker goroutines inside each simulation (0 = min(banks, GOMAXPROCS), 1 = single-goroutine; results are byte-identical)")
+		progress  = flag.Bool("progress", false, "stream one line per completed simulation point to stderr")
+		noCache   = flag.Bool("no-cache", false, "disable result memoization (re-simulate points shared between figures)")
+		metricf   = flag.String("metrics", "", "emit the aggregated metrics snapshot after the tables: 'json' or 'table'")
+		trEv      = flag.Int("trace-events", 0, "keep the last N controller events per simulation point")
+		benchOut  = flag.String("bench-json", "", "write a machine-readable run record (wall time, sims, cache hits, metrics) to this file")
+		listen    = flag.String("listen", "", "serve live /metrics, /progress, /events and /debug/pprof on this address (e.g. :8080) while the sweep runs")
+		heatTab   = flag.Bool("heatmap", false, "append the merged WD spatial heatmap (per-bank x line-region) as an ASCII table")
+		heatOut   = flag.String("heatmap-json", "", "write the merged WD spatial heatmap as JSON to this file")
+		heatReg   = flag.Int("heatmap-regions", 16, "line-regions per bank in the WD heatmap")
+		ckptDir   = flag.String("checkpoint-dir", "", "directory of per-point resumable checkpoints: a killed sweep rerun with the same flags resumes every in-flight point (requires -checkpoint-every)")
+		ckptEvery = flag.Int("checkpoint-every", 0, "per-point checkpoint interval in processed references (0 disables)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
+		memProf   = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -165,16 +167,18 @@ func run() int {
 		return 2
 	}
 	opts := sdpcm.ExperimentOptions{
-		RefsPerCore:    *refs,
-		Cores:          *cores,
-		Seed:           *seed,
-		MemPages:       *memMB * 256, // 4KB pages
-		RegionPages:    *region,
-		Parallel:       *parallel,
-		Shards:         resolveShards(*shards),
-		NoCache:        *noCache,
-		CollectMetrics: *metricf != "" || *benchOut != "" || *listen != "",
-		TraceEvents:    *trEv,
+		RefsPerCore:     *refs,
+		Cores:           *cores,
+		Seed:            *seed,
+		MemPages:        *memMB * 256, // 4KB pages
+		RegionPages:     *region,
+		Parallel:        *parallel,
+		Shards:          resolveShards(*shards),
+		NoCache:         *noCache,
+		CollectMetrics:  *metricf != "" || *benchOut != "" || *listen != "",
+		TraceEvents:     *trEv,
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptEvery,
 	}
 	if *heatTab || *heatOut != "" {
 		opts.HeatmapRegions = *heatReg

@@ -39,26 +39,29 @@ func main() { os.Exit(run()) }
 // path.
 func run() int {
 	var (
-		scheme  = flag.String("scheme", "lazyc+preread", "scheme: "+strings.Join(sdpcm.SchemeNames(), "|"))
-		bench   = flag.String("bench", "lbm", "Table 3 benchmark name")
-		refs    = flag.Int("refs", 20000, "main-memory references per core")
-		cores   = flag.Int("cores", 8, "cores")
-		ecp     = flag.Int("ecp", sdpcm.DefaultECPEntries, "ECP entries per line for LazyC schemes")
-		queue   = flag.Int("queue", 32, "write queue entries per bank")
-		seed    = flag.Uint64("seed", 42, "random seed")
-		shards  = flag.Int("shards", 0, "bank-shard worker goroutines per run (0 = min(banks, GOMAXPROCS), 1 = single-goroutine; results are byte-identical)")
-		noBase  = flag.Bool("no-baseline", false, "skip the baseline comparison run")
-		traces  = flag.String("trace", "", "comma-separated trace files to replay (one per core) instead of -bench")
-		metricf = flag.String("metrics", "", "append the run's metrics snapshot: 'json' or 'table'")
-		trEv    = flag.Int("trace-events", 0, "keep the last N controller events in the metrics snapshot")
-		listen  = flag.String("listen", "", "serve live /metrics, /progress, /events and /debug/pprof on this address (e.g. :8080) while the run is in flight")
-		snapEv  = flag.Uint64("snapshot-interval", 0, "publish a mid-run metrics snapshot every N simulated cycles (default 1M when -listen is set)")
-		perfOut = flag.String("perfetto", "", "write the event-trace tail as Perfetto/Chrome trace-event JSON to this file (implies -trace-events when unset)")
-		heatTab = flag.Bool("heatmap", false, "append the WD spatial heatmap (per-bank x line-region) as an ASCII table")
-		heatOut = flag.String("heatmap-json", "", "write the WD spatial heatmap as JSON to this file")
-		heatReg = flag.Int("heatmap-regions", 16, "line-regions per bank in the WD heatmap")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
-		memProf = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		scheme    = flag.String("scheme", "lazyc+preread", "scheme: "+strings.Join(sdpcm.SchemeNames(), "|"))
+		bench     = flag.String("bench", "lbm", "Table 3 benchmark name")
+		refs      = flag.Int("refs", 20000, "main-memory references per core")
+		cores     = flag.Int("cores", 8, "cores")
+		ecp       = flag.Int("ecp", sdpcm.DefaultECPEntries, "ECP entries per line for LazyC schemes")
+		queue     = flag.Int("queue", 32, "write queue entries per bank")
+		seed      = flag.Uint64("seed", 42, "random seed")
+		shards    = flag.Int("shards", 0, "bank-shard worker goroutines per run (0 = min(banks, GOMAXPROCS), 1 = single-goroutine; results are byte-identical)")
+		noBase    = flag.Bool("no-baseline", false, "skip the baseline comparison run")
+		traces    = flag.String("trace", "", "comma-separated trace files to replay (one per core) instead of -bench")
+		metricf   = flag.String("metrics", "", "append the run's metrics snapshot: 'json' or 'table'")
+		trEv      = flag.Int("trace-events", 0, "keep the last N controller events in the metrics snapshot")
+		listen    = flag.String("listen", "", "serve live /metrics, /progress, /events and /debug/pprof on this address (e.g. :8080) while the run is in flight")
+		snapEv    = flag.Uint64("snapshot-interval", 0, "publish a mid-run metrics snapshot every N simulated cycles (default 1M when -listen is set)")
+		perfOut   = flag.String("perfetto", "", "write the event-trace tail as Perfetto/Chrome trace-event JSON to this file (implies -trace-events when unset)")
+		heatTab   = flag.Bool("heatmap", false, "append the WD spatial heatmap (per-bank x line-region) as an ASCII table")
+		heatOut   = flag.String("heatmap-json", "", "write the WD spatial heatmap as JSON to this file")
+		heatReg   = flag.Int("heatmap-regions", 16, "line-regions per bank in the WD heatmap")
+		ckptPath  = flag.String("checkpoint", "", "periodically write a resumable sim-state checkpoint to this file (atomic replace; requires -checkpoint-every)")
+		ckptEvery = flag.Int("checkpoint-every", 0, "checkpoint interval in processed references (0 disables)")
+		resume    = flag.Bool("resume", false, "resume from the -checkpoint file when it exists; the resumed run's result is byte-identical to an uninterrupted one")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
+		memProf   = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -132,6 +135,22 @@ func run() int {
 		cfg.Mix = sdpcm.MixSpec{}
 		cfg.RefsPerCore = 1 << 40 // streams exhaust on their own
 	}
+	if *resume && *ckptPath == "" {
+		fmt.Fprintln(os.Stderr, "sdpcm-sim: -resume requires -checkpoint to name the file")
+		return 2
+	}
+	if *ckptPath != "" && *ckptEvery > 0 {
+		cfg.CheckpointPath = *ckptPath
+		cfg.CheckpointEvery = *ckptEvery
+	}
+	if *resume {
+		if _, err := os.Stat(*ckptPath); err == nil {
+			cfg.ResumeFrom = *ckptPath
+			fmt.Fprintf(os.Stderr, "resuming from %s\n", *ckptPath)
+		} else {
+			fmt.Fprintf(os.Stderr, "no checkpoint at %s, starting cold\n", *ckptPath)
+		}
+	}
 	res, err := sdpcm.Run(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -152,6 +171,11 @@ func run() int {
 		baseCfg.OnSnapshot = nil
 		baseCfg.SnapshotInterval = 0
 		baseCfg.HeatmapRegions = 0
+		// Nor does the comparison run checkpoint or resume: its state is not
+		// the main run's state.
+		baseCfg.CheckpointPath = ""
+		baseCfg.CheckpointEvery = 0
+		baseCfg.ResumeFrom = ""
 		base, err := sdpcm.Run(baseCfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -1,0 +1,74 @@
+package ecp
+
+import (
+	"slices"
+
+	"sdpcm/internal/pcm"
+	"sdpcm/internal/snap"
+)
+
+// EncodeState serializes the table's mutable state: the counters and every
+// line's entry bookkeeping, in ascending address order so the encoding is
+// deterministic. N, HardFn and the instruments are construction parameters.
+func (t *Table) EncodeState(e *snap.Encoder) {
+	e.Begin("ecp.table")
+	e.U64(t.Stats.WDRecorded)
+	e.U64(t.Stats.WDDuplicates)
+	e.U64(t.Stats.Overflows)
+	e.U64(t.Stats.ClearedByWrite)
+	e.U64(t.Stats.ClearedByCorrect)
+	e.U64(t.Stats.ECPBitWrites)
+	addrs := make([]pcm.LineAddr, 0, len(t.lines))
+	for a := range t.lines {
+		addrs = append(addrs, a)
+	}
+	slices.Sort(addrs)
+	e.Uvarint(uint64(len(addrs)))
+	for _, a := range addrs {
+		s := t.lines[a]
+		e.U64(uint64(a))
+		e.Int(s.hard)
+		e.Uvarint(uint64(len(s.wd)))
+		for _, c := range s.wd {
+			e.Uvarint(uint64(c))
+		}
+		e.Uvarint(uint64(len(s.seen)))
+		for _, c := range s.seen {
+			e.Uvarint(uint64(c))
+		}
+	}
+	e.End()
+}
+
+// DecodeState restores state written by EncodeState into a freshly
+// constructed table of the same configuration.
+func (t *Table) DecodeState(d *snap.Decoder) error {
+	d.Begin("ecp.table")
+	t.Stats.WDRecorded = d.U64()
+	t.Stats.WDDuplicates = d.U64()
+	t.Stats.Overflows = d.U64()
+	t.Stats.ClearedByWrite = d.U64()
+	t.Stats.ClearedByCorrect = d.U64()
+	t.Stats.ECPBitWrites = d.U64()
+	t.lines = make(map[pcm.LineAddr]*lineState)
+	n := d.Uvarint()
+	for i := uint64(0); i < n && d.Err() == nil; i++ {
+		a := pcm.LineAddr(d.U64())
+		s := &lineState{hard: d.Int()}
+		if k := d.Uvarint(); k > 0 {
+			s.wd = make([]uint16, k)
+			for j := range s.wd {
+				s.wd[j] = uint16(d.Uvarint())
+			}
+		}
+		if k := d.Uvarint(); k > 0 {
+			s.seen = make([]uint16, k)
+			for j := range s.seen {
+				s.seen[j] = uint16(d.Uvarint())
+			}
+		}
+		t.lines[a] = s
+	}
+	d.End()
+	return d.Err()
+}

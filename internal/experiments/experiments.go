@@ -72,6 +72,15 @@ type Options struct {
 	Parallel int
 	// NoCache disables point memoization.
 	NoCache bool
+	// CheckpointDir, with CheckpointEvery, makes long sweeps resumable:
+	// each cacheable point periodically writes a sim-state checkpoint into
+	// the directory, and a killed sweep restarted with the same options
+	// resumes every in-flight point from its last checkpoint with an
+	// identical result (see runner.Runner.CheckpointDir).
+	CheckpointDir string
+	// CheckpointEvery is the per-point checkpoint interval in processed
+	// references (0 disables checkpointing).
+	CheckpointEvery int
 	// Observer receives per-point completion events.
 	Observer runner.Observer
 	// Exec, when set, executes every point and wins over
@@ -131,7 +140,13 @@ func (o Options) exec() *runner.Runner {
 // several figures in one process assign it to Options.Exec so the memo
 // cache deduplicates points across figures.
 func NewRunner(o Options) *runner.Runner {
-	return &runner.Runner{Workers: o.Parallel, NoCache: o.NoCache, Observer: o.Observer}
+	return &runner.Runner{
+		Workers:         o.Parallel,
+		NoCache:         o.NoCache,
+		Observer:        o.Observer,
+		CheckpointDir:   o.CheckpointDir,
+		CheckpointEvery: o.CheckpointEvery,
+	}
 }
 
 // roster resolves Options.Schemes through the scheme registry, keeping

@@ -1,0 +1,43 @@
+package imdb
+
+import (
+	"sdpcm/internal/pcm"
+	"sdpcm/internal/snap"
+)
+
+// EncodePolicyState serializes the barrier's victim buffers and counters,
+// implementing mc.PolicyState so runs using the barrier scheme checkpoint
+// and resume exactly. Capacity is a construction parameter, and bypass is
+// transient within one correction — both always false/fixed at the
+// checkpoint barrier.
+func (w *Barrier) EncodePolicyState(e *snap.Encoder) {
+	e.Begin("imdb.barrier")
+	e.U64(w.Evictions)
+	e.U64(w.Coalesced)
+	for b := range w.banks {
+		e.Uvarint(uint64(len(w.banks[b])))
+		for _, en := range w.banks[b] {
+			e.U64(uint64(en.addr))
+			pcm.EncodeLine(e, pcm.Line(en.mask))
+		}
+	}
+	e.End()
+}
+
+// DecodePolicyState restores state written by EncodePolicyState.
+func (w *Barrier) DecodePolicyState(d *snap.Decoder) error {
+	d.Begin("imdb.barrier")
+	w.Evictions = d.U64()
+	w.Coalesced = d.U64()
+	for b := range w.banks {
+		n := d.Uvarint()
+		w.banks[b] = nil
+		for i := uint64(0); i < n && d.Err() == nil; i++ {
+			addr := pcm.LineAddr(d.U64())
+			mask := pcm.Mask(pcm.DecodeLine(d))
+			w.banks[b] = append(w.banks[b], entry{addr: addr, mask: mask})
+		}
+	}
+	d.End()
+	return d.Err()
+}

@@ -46,6 +46,22 @@ func New(seed uint64) *Rand {
 	return r
 }
 
+// State returns the generator's internal xoshiro256** state, for
+// checkpointing. SetState with the returned value reproduces the stream
+// exactly from this point.
+func (r *Rand) State() [4]uint64 { return r.s }
+
+// SetState overwrites the generator's internal state with one previously
+// obtained from State. An all-zero state is degenerate (xoshiro would emit
+// zeros forever) and is rejected by falling back to the guard state New
+// uses; State never returns one, so this only triggers on corrupt input.
+func (r *Rand) SetState(s [4]uint64) {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		s[0] = 1
+	}
+	r.s = s
+}
+
 // Uint64 returns the next 64 uniformly distributed bits.
 func (r *Rand) Uint64() uint64 {
 	result := bits.RotateLeft64(r.s[1]*5, 7) * 9

@@ -18,6 +18,11 @@
 package runner
 
 import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
@@ -174,6 +179,18 @@ type Runner struct {
 	// Observer, when non-nil, receives one event per completed point.
 	// Calls are serialized by the Runner.
 	Observer Observer
+	// CheckpointDir, together with CheckpointEvery, makes long sweeps
+	// resumable: every cacheable point periodically publishes a
+	// sim-state checkpoint named by the sha256 of its cache key. A killed
+	// sweep restarted with the same directory resumes each in-flight point
+	// from its last checkpoint (the resume contract guarantees an
+	// identical Result); completed points delete their file. Unreadable or
+	// stale checkpoints fall back to a cold start. Uncacheable points
+	// (unkeyable configs) never checkpoint.
+	CheckpointDir string
+	// CheckpointEvery is the per-point checkpoint interval in processed
+	// references (see sim.Config.CheckpointEvery).
+	CheckpointEvery int
 
 	mu    sync.Mutex
 	cache map[string]*entry
@@ -233,6 +250,48 @@ func (r *Runner) exec(cfg sim.Config) (sim.Result, error) {
 	return sim.Run(cfg)
 }
 
+// checkpointPath names a point's checkpoint file inside CheckpointDir: the
+// cache key is canonical for the resolved config, so its hash is stable
+// across processes — which is what lets a restarted sweep find the file.
+func (r *Runner) checkpointPath(key string) string {
+	return filepath.Join(r.CheckpointDir, fmt.Sprintf("%x.ckpt", sha256.Sum256([]byte(key))))
+}
+
+// execPoint runs one owned cacheable point, wiring the checkpoint life
+// cycle around exec: resume from an existing file, fall back to a cold
+// start when the file is unusable, delete it once the point completes.
+func (r *Runner) execPoint(cfg sim.Config, key string) (sim.Result, error) {
+	if r.CheckpointDir == "" || r.CheckpointEvery <= 0 {
+		return r.exec(cfg)
+	}
+	if err := os.MkdirAll(r.CheckpointDir, 0o755); err != nil {
+		// Checkpointing is best-effort; an unusable directory must not
+		// fail the sweep.
+		return r.exec(cfg)
+	}
+	path := r.checkpointPath(key)
+	cfg.CheckpointPath = path
+	cfg.CheckpointEvery = r.CheckpointEvery
+	if _, err := os.Stat(path); err == nil {
+		cfg.ResumeFrom = path
+	}
+	res, err := r.exec(cfg)
+	switch {
+	case errors.Is(err, sim.ErrResume):
+		// Stale, corrupt or mismatched checkpoint: discard it and run cold.
+		os.Remove(path)
+		cfg.ResumeFrom = ""
+		res, err = r.exec(cfg)
+	case errors.Is(err, sim.ErrCheckpointUnsupported):
+		cfg.CheckpointPath, cfg.CheckpointEvery, cfg.ResumeFrom = "", 0, ""
+		res, err = r.exec(cfg)
+	}
+	if err == nil {
+		os.Remove(path)
+	}
+	return res, err
+}
+
 // Run executes every spec and returns the results in spec order. On
 // failure it returns the error of the lowest-index failing spec, so error
 // reporting is as deterministic as the results themselves.
@@ -255,7 +314,7 @@ func (r *Runner) Run(base Base, specs []Spec) ([]sim.Result, error) {
 			if cacheable && !r.NoCache {
 				e, owner := r.claim(key)
 				if owner {
-					e.res, e.err = r.exec(cfg)
+					e.res, e.err = r.execPoint(cfg, key)
 					close(e.done)
 				} else {
 					<-e.done

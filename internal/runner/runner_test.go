@@ -2,6 +2,8 @@ package runner
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -275,5 +277,116 @@ func TestRunErrorIsDeterministic(t *testing.T) {
 		if err2 == nil || fmt.Sprintf("%v", err2) != want {
 			t.Fatalf("error not deterministic: %v vs %v", err2, err)
 		}
+	}
+}
+
+// checkpointSpec is a single sweep point whose total reference count (800
+// refs × 2 cores = 1600) lets an interval of 801 fire exactly one mid-run
+// checkpoint that is never overwritten.
+const ckptInterval = 801
+
+// TestCheckpointSweepUnperturbed: a checkpointing sweep produces the same
+// results as a plain one, and deletes every checkpoint on completion.
+func TestCheckpointSweepUnperturbed(t *testing.T) {
+	base := testBase()
+	specs := testSpecs()
+	plain, err := (&Runner{Workers: 4}).Run(base, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	r := &Runner{Workers: 4, CheckpointDir: dir, CheckpointEvery: ckptInterval}
+	res, err := r.Run(base, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res {
+		if res[i] != plain[i] {
+			t.Errorf("point %d diverged under checkpointing", i)
+		}
+	}
+	left, err := filepath.Glob(filepath.Join(dir, "*.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Errorf("completed sweep left checkpoints behind: %v", left)
+	}
+}
+
+// TestCheckpointSweepResume models a killed sweep: a mid-run checkpoint is
+// left in the directory (written by a direct sim.Run, the same file a killed
+// owner goroutine would leave), and a fresh Runner pointed at the directory
+// must resume the point to the exact cold-run result, then clean up.
+func TestCheckpointSweepResume(t *testing.T) {
+	base := testBase()
+	sp := Spec{Scheme: core.LazyC(6), Bench: "mcf"}
+	cold, err := (&Runner{Workers: 1}).Run(base, []Spec{sp})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	r := &Runner{Workers: 1, CheckpointDir: dir, CheckpointEvery: ckptInterval}
+	cfg := sp.Resolve(base)
+	key, ok := Key(cfg, 0)
+	if !ok {
+		t.Fatal("spec unexpectedly uncacheable")
+	}
+	path := r.checkpointPath(key)
+	cfg.CheckpointPath = path
+	cfg.CheckpointEvery = ckptInterval
+	if _, err := sim.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("no mid-run checkpoint written: %v", err)
+	}
+
+	res, err := r.Run(base, []Spec{sp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != cold[0] {
+		t.Errorf("resumed point diverged from cold run")
+	}
+	if st := r.Stats(); st.SimRuns != 1 {
+		t.Errorf("resumed sweep ran %d simulations, want 1", st.SimRuns)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("checkpoint not cleaned up after success: %v", err)
+	}
+}
+
+// TestCheckpointCorruptFallsBackCold: an unreadable checkpoint must not fail
+// the sweep — the point restarts cold and still matches.
+func TestCheckpointCorruptFallsBackCold(t *testing.T) {
+	base := testBase()
+	sp := Spec{Scheme: core.Baseline(), Bench: "lbm"}
+	cold, err := (&Runner{Workers: 1}).Run(base, []Spec{sp})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	r := &Runner{Workers: 1, CheckpointDir: dir, CheckpointEvery: ckptInterval}
+	cfg := sp.Resolve(base)
+	key, _ := Key(cfg, 0)
+	path := r.checkpointPath(key)
+	if err := os.WriteFile(path, []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run(base, []Spec{sp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != cold[0] {
+		t.Errorf("cold fallback diverged")
+	}
+	if st := r.Stats(); st.SimRuns != 2 {
+		t.Errorf("fallback ran %d simulations, want 2 (failed resume + cold)", st.SimRuns)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("corrupt checkpoint not removed: %v", err)
 	}
 }

@@ -39,6 +39,10 @@ type bankExec interface {
 	// shadows returns the integrity shadow maps (post-close; nil entries
 	// when integrity checking is off).
 	shadows() []map[pcm.LineAddr]pcm.Line
+	// restoreShadow seeds one integrity-shadow entry during a checkpoint
+	// resume. Must only be called before any op has been posted: the first
+	// batch publication orders these writes before all worker reads.
+	restoreShadow(logical pcm.LineAddr, data pcm.Line)
 }
 
 func integrityReadErr(logical pcm.LineAddr) error {
@@ -91,6 +95,12 @@ func (e *inlineExec) close()                           {}
 
 func (e *inlineExec) shadows() []map[pcm.LineAddr]pcm.Line {
 	return []map[pcm.LineAddr]pcm.Line{e.shadow}
+}
+
+func (e *inlineExec) restoreShadow(logical pcm.LineAddr, data pcm.Line) {
+	if e.shadow != nil {
+		e.shadow[logical] = data
+	}
 }
 
 // Sharded execution tuning. opBatch bounds how many posted ops accumulate
@@ -298,4 +308,14 @@ func (e *shardExec) shadows() []map[pcm.LineAddr]pcm.Line {
 		out[i] = w.shadow
 	}
 	return out
+}
+
+func (e *shardExec) restoreShadow(logical pcm.LineAddr, data pcm.Line) {
+	// The shadow is keyed by logical (pre-wear-leveling) address; wear
+	// leveling rotates a line within its row, so logical and remapped
+	// addresses share a bank and the owning shard is bank(logical) % N.
+	w := e.shardFor(logical)
+	if w.shadow != nil {
+		w.shadow[logical] = data
+	}
 }

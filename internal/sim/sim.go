@@ -108,6 +108,21 @@ type Config struct {
 	// write-disturbance error escaped VnC. Costs memory proportional to the
 	// footprint; intended for tests.
 	CheckIntegrity bool
+	// CheckpointEvery, when positive together with CheckpointPath, writes a
+	// versioned snapshot of the complete simulator state every
+	// CheckpointEvery processed references (counted in program order, so
+	// the trigger points are identical across shard counts). Each write
+	// atomically replaces the previous file; a killed run loses at most one
+	// interval of progress.
+	CheckpointEvery int
+	// CheckpointPath is where checkpoints are published (tmp-and-rename).
+	CheckpointPath string
+	// ResumeFrom, when set, loads a checkpoint written by a run with the
+	// same configuration (any shard count) and continues it; the final
+	// Result is byte-identical to the uninterrupted run's. Load or
+	// validation failures wrap ErrResume so callers can fall back to a
+	// cold start.
+	ResumeFrom string
 }
 
 func (c Config) normalized() Config {
@@ -381,6 +396,35 @@ func Run(cfg Config) (Result, error) {
 	snapshotting := cfg.SnapshotInterval > 0 && cfg.OnSnapshot != nil
 	nextSnap := cfg.SnapshotInterval
 
+	ckpt := runState{
+		cfg: cfg, p: p, exec: exec, allocator: allocator, mirrors: mirrors,
+		cores: cores, h: &h, wl: wl, nextSnap: nextSnap,
+	}
+	checkpointing := cfg.CheckpointEvery > 0 && cfg.CheckpointPath != ""
+	if checkpointing || cfg.ResumeFrom != "" {
+		// All controllers share one scheme config; checking bank 0 covers
+		// every bank.
+		if err := p.ctrls[0].CheckpointSupported(); err != nil {
+			return Result{}, fmt.Errorf("%w: %v", ErrCheckpointUnsupported, err)
+		}
+	}
+	if cfg.ResumeFrom != "" {
+		active, err := ckpt.restoreCheckpoint(cfg.ResumeFrom)
+		if err != nil {
+			return Result{}, err
+		}
+		h = h[:0]
+		for _, c := range cores {
+			if active[c.id] {
+				h = append(h, c)
+			}
+		}
+		// (time, id) totally orders cores, so the rebuilt heap dispatches
+		// in exactly the order the checkpointing run would have.
+		heap.Init(&h)
+		nextSnap = ckpt.nextSnap
+	}
+
 	for h.Len() > 0 {
 		c := h[0]
 		rec, ok := c.stream.Next()
@@ -427,6 +471,14 @@ func Run(cfg Config) (Result, error) {
 			cfg.OnSnapshot(p.assembleSnapshot(sumCounters(c.time)))
 			for nextSnap <= c.time {
 				nextSnap += cfg.SnapshotInterval
+			}
+		}
+		ckpt.totalRefs++
+		if checkpointing && ckpt.totalRefs%uint64(cfg.CheckpointEvery) == 0 {
+			exec.barrier()
+			ckpt.nextSnap = nextSnap
+			if err := writeCheckpoint(cfg.CheckpointPath, ckpt.encodeCheckpoint()); err != nil {
+				return Result{}, err
 			}
 		}
 	}

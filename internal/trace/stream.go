@@ -1,0 +1,72 @@
+package trace
+
+import "io"
+
+// StreamReader iterates a binary trace through a bounded buffer,
+// implementing Stream without materialising the file the way ReadAll does —
+// a billion-reference trace replays in constant memory. Decode failures are
+// latched: Next reports exhaustion and Err explains why.
+type StreamReader struct {
+	r   *Reader
+	err error
+	n   uint64
+}
+
+// NewStreamReader wraps r with the default buffer size.
+func NewStreamReader(r io.Reader) *StreamReader {
+	return &StreamReader{r: NewReader(r)}
+}
+
+// NewStreamReaderSize wraps r with an explicit decode-buffer size (minimum
+// sizes are rounded up by bufio); useful to bound memory when replaying many
+// traces at once, and in tests to force records to straddle refills.
+func NewStreamReaderSize(r io.Reader, size int) *StreamReader {
+	return &StreamReader{r: NewReaderSize(r, size)}
+}
+
+// Next implements Stream. It returns ok=false at clean end of trace and on
+// decode errors alike; Err distinguishes the two.
+func (s *StreamReader) Next() (Record, bool) {
+	if s.err != nil {
+		return Record{}, false
+	}
+	rec, err := s.r.Next()
+	if err != nil {
+		if err != io.EOF {
+			s.err = err
+		}
+		return Record{}, false
+	}
+	s.n++
+	return rec, true
+}
+
+// Err returns the first decode failure (bad magic, truncated varint, an
+// underlying read error), or nil after a clean end of trace.
+func (s *StreamReader) Err() error { return s.err }
+
+// Count returns the number of records decoded so far.
+func (s *StreamReader) Count() uint64 { return s.n }
+
+// Skip consumes up to n records and returns how many were skipped; fewer
+// than n means the trace ended (Err nil) or decoding failed (Err set). The
+// simulator uses it to fast-forward replayed streams on checkpoint resume.
+func (s *StreamReader) Skip(n int) (int, error) {
+	for i := 0; i < n; i++ {
+		if _, ok := s.Next(); !ok {
+			return i, s.err
+		}
+	}
+	return n, nil
+}
+
+// Skip advances the slice cursor by up to n records, mirroring
+// StreamReader.Skip for in-memory replays.
+func (s *SliceStream) Skip(n int) (int, error) {
+	if avail := len(s.recs) - s.pos; n > avail {
+		s.pos = len(s.recs)
+		return avail, nil
+	}
+	s.pos += n
+	return n, nil
+}

@@ -112,6 +112,12 @@ func NewReader(r io.Reader) *Reader {
 	return &Reader{r: bufio.NewReader(r)}
 }
 
+// NewReaderSize wraps r with an explicit buffer size (bufio rounds tiny
+// sizes up to its minimum).
+func NewReaderSize(r io.Reader, size int) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, size)}
+}
+
 // ErrBadMagic is returned when the stream is not a trace file.
 var ErrBadMagic = errors.New("trace: bad magic, not a trace stream")
 

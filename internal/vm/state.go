@@ -1,0 +1,108 @@
+package vm
+
+import (
+	"fmt"
+	"slices"
+
+	"sdpcm/internal/alloc"
+	"sdpcm/internal/pcm"
+	"sdpcm/internal/snap"
+)
+
+// EncodeState serializes the address space's mutable state: the page table
+// (in ascending virtual-page order), the TLB arrays and clock, the
+// demand-paging pool and block list, and the fault counter. The allocator
+// reference, tag and chunk size are construction parameters.
+func (as *AddressSpace) EncodeState(e *snap.Encoder) {
+	e.Begin("vm.addrspace")
+
+	vpages := make([]uint64, 0, len(as.PT.entries))
+	for v := range as.PT.entries {
+		vpages = append(vpages, v)
+	}
+	slices.Sort(vpages)
+	e.Uvarint(uint64(len(vpages)))
+	for _, v := range vpages {
+		tr := as.PT.entries[v]
+		e.U64(v)
+		e.U64(uint64(tr.Frame))
+		e.Int(tr.Tag.N)
+		e.Int(tr.Tag.M)
+	}
+
+	t := as.TLB
+	e.Int(t.sets)
+	e.Int(t.assoc)
+	for i := range t.vpage {
+		e.U64(t.vpage[i])
+		e.U64(uint64(t.data[i].Frame))
+		e.Int(t.data[i].Tag.N)
+		e.Int(t.data[i].Tag.M)
+		e.Bool(t.valid[i])
+		e.U64(t.stamp[i])
+	}
+	e.U64(t.clock)
+	e.U64(t.Hits)
+	e.U64(t.Misses)
+
+	e.Uvarint(uint64(len(as.pool)))
+	for _, p := range as.pool {
+		e.U64(uint64(p))
+	}
+	e.Uvarint(uint64(len(as.blocks)))
+	for _, b := range as.blocks {
+		e.U64(uint64(b.Start))
+		e.Int(b.Order)
+		e.Int(b.Tag.N)
+		e.Int(b.Tag.M)
+	}
+	e.U64(as.Faults)
+	e.End()
+}
+
+// DecodeState restores state written by EncodeState into an address space
+// freshly constructed with the same tag and chunk size.
+func (as *AddressSpace) DecodeState(d *snap.Decoder) error {
+	d.Begin("vm.addrspace")
+
+	n := d.Uvarint()
+	as.PT = &PageTable{entries: make(map[uint64]Translation, n)}
+	for i := uint64(0); i < n && d.Err() == nil; i++ {
+		v := d.U64()
+		tr := Translation{Frame: pcm.PageAddr(d.U64()), Tag: alloc.Tag{N: d.Int(), M: d.Int()}}
+		as.PT.entries[v] = tr
+	}
+
+	t := as.TLB
+	if sets, assoc := d.Int(), d.Int(); d.Err() == nil && (sets != t.sets || assoc != t.assoc) {
+		return fmt.Errorf("vm: checkpoint TLB geometry %d/%d does not match this run's %d/%d",
+			sets, assoc, t.sets, t.assoc)
+	}
+	for i := range t.vpage {
+		t.vpage[i] = d.U64()
+		t.data[i] = Translation{Frame: pcm.PageAddr(d.U64()), Tag: alloc.Tag{N: d.Int(), M: d.Int()}}
+		t.valid[i] = d.Bool()
+		t.stamp[i] = d.U64()
+	}
+	t.clock = d.U64()
+	t.Hits = d.U64()
+	t.Misses = d.U64()
+
+	np := d.Uvarint()
+	as.pool = make([]pcm.PageAddr, 0, np)
+	for i := uint64(0); i < np && d.Err() == nil; i++ {
+		as.pool = append(as.pool, pcm.PageAddr(d.U64()))
+	}
+	nb := d.Uvarint()
+	as.blocks = make([]alloc.Block, 0, nb)
+	for i := uint64(0); i < nb && d.Err() == nil; i++ {
+		as.blocks = append(as.blocks, alloc.Block{
+			Start: pcm.PageAddr(d.U64()),
+			Order: d.Int(),
+			Tag:   alloc.Tag{N: d.Int(), M: d.Int()},
+		})
+	}
+	as.Faults = d.U64()
+	d.End()
+	return d.Err()
+}

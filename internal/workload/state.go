@@ -1,0 +1,51 @@
+package workload
+
+import "sdpcm/internal/snap"
+
+// EncodeState serializes the generator's mutable state: the RNG stream
+// position and the sequential cursor. Spec-derived parameters are rebuilt
+// identically by construction.
+func (g *Generator) EncodeState(e *snap.Encoder) {
+	e.Begin("workload.generator")
+	for _, w := range g.rnd.State() {
+		e.U64(w)
+	}
+	e.U64(g.cursor)
+	e.End()
+}
+
+// DecodeState restores state written by EncodeState into a generator built
+// with the same spec and seed.
+func (g *Generator) DecodeState(d *snap.Decoder) error {
+	d.Begin("workload.generator")
+	var s [4]uint64
+	for i := range s {
+		s[i] = d.U64()
+	}
+	g.rnd.SetState(s)
+	g.cursor = d.U64()
+	d.End()
+	return d.Err()
+}
+
+// EncodeState serializes the mutator's RNG stream position; the rewrite
+// probability is a construction parameter.
+func (m *Mutator) EncodeState(e *snap.Encoder) {
+	e.Begin("workload.mutator")
+	for _, w := range m.rnd.State() {
+		e.U64(w)
+	}
+	e.End()
+}
+
+// DecodeState restores state written by EncodeState.
+func (m *Mutator) DecodeState(d *snap.Decoder) error {
+	d.Begin("workload.mutator")
+	var s [4]uint64
+	for i := range s {
+		s[i] = d.U64()
+	}
+	m.rnd.SetState(s)
+	d.End()
+	return d.Err()
+}

@@ -145,6 +145,21 @@ type SimResult = sim.Result
 // Run executes one simulation.
 func Run(cfg SimConfig) (SimResult, error) { return sim.Run(cfg) }
 
+// Checkpoint/resume re-exports: set SimConfig.CheckpointEvery/CheckpointPath
+// to periodically snapshot a run's complete state, and SimConfig.ResumeFrom
+// to continue from such a snapshot with a Result byte-identical to the
+// uninterrupted run (at any Shards count). Sweeps checkpoint through
+// ExperimentOptions.CheckpointDir / SweepRunner.CheckpointDir.
+var (
+	// ErrResume marks a checkpoint that cannot be used (missing, corrupt,
+	// version-incompatible, or from a different configuration); callers fall
+	// back to a cold start.
+	ErrResume = sim.ErrResume
+	// ErrCheckpointUnsupported marks a configuration whose plugin state
+	// cannot be serialized (an opaque correction policy or encoding).
+	ErrCheckpointUnsupported = sim.ErrCheckpointUnsupported
+)
+
 // Speedup is the §5.2 performance metric: CPI_base / CPI_tech.
 func Speedup(base, tech SimResult) float64 { return stats.Speedup(base.CPI, tech.CPI) }
 
@@ -260,6 +275,33 @@ func LoadTraceStreams(paths ...string) ([]TraceStream, error) {
 		out = append(out, trace.NewSliceStream(recs))
 	}
 	return out, nil
+}
+
+// TraceStreamReader iterates a binary trace through a bounded buffer — a
+// billion-reference trace replays in constant memory. It implements
+// TraceStream; check Err after the stream ends to distinguish a clean end
+// from a decode failure.
+type TraceStreamReader = trace.StreamReader
+
+// OpenTraceStreams opens binary trace files as one bounded-memory replay
+// stream per file/core, without materialising the records the way
+// LoadTraceStreams does. The caller owns closing the returned files once the
+// simulation finishes.
+func OpenTraceStreams(paths ...string) ([]TraceStream, []io.Closer, error) {
+	streams := make([]TraceStream, 0, len(paths))
+	closers := make([]io.Closer, 0, len(paths))
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			for _, c := range closers {
+				c.Close()
+			}
+			return nil, nil, err
+		}
+		streams = append(streams, trace.NewStreamReader(f))
+		closers = append(closers, f)
+	}
+	return streams, closers, nil
 }
 
 // CaptureWorkload generates n references of a Table 3 benchmark as trace
