@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json golden check-golden bench-record obs-smoke resume-smoke lint ci
+.PHONY: build test race bench bench-json golden check-golden bench-record obs-smoke resume-smoke serve-smoke lint ci
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,12 @@ check-golden:
 obs-smoke:
 	./scripts/obs_smoke.sh
 
+# End-to-end sweep-service check: cold sdpcm-serve run (SSE stream, per-job
+# /metrics, golden-identical table), warm rerun on the same store dir with
+# zero simulations, and a clean mid-job SIGTERM drain.
+serve-smoke:
+	./scripts/serve_smoke.sh
+
 # Kill a checkpointing sdpcm-sim run with SIGKILL at ~50%, resume it, and
 # diff the output byte-for-byte against an uninterrupted run — plain and
 # -race builds, Shards=1 and Shards=4 (the CI resume-determinism job).
@@ -65,4 +71,4 @@ lint:
 	test -z "$$(gofmt -l .)"
 	$(GO) run ./scripts/archcheck.go
 
-ci: build lint race check-golden bench obs-smoke resume-smoke
+ci: build lint race check-golden bench obs-smoke resume-smoke serve-smoke

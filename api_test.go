@@ -189,9 +189,10 @@ func TestPublicMetricsSurviveMemoCache(t *testing.T) {
 		t.Fatal("no points observed")
 	}
 	second := map[string]*sdpcm.MetricsSnapshot{}
-	// A set Exec wins over Options.Observer, so swap the observer on the
-	// shared executor itself for the cached rerun.
-	o.Exec.Observer = collect(second, true)
+	// Options.Observer is per figure call and wins over the shared
+	// executor's own observer — several jobs can share one Exec and still
+	// keep separate event streams.
+	o.Observer = collect(second, true)
 	if _, err := sdpcm.Fig12(o); err != nil {
 		t.Fatal(err)
 	}

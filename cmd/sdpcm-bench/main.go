@@ -27,8 +27,10 @@ import (
 	"time"
 
 	"sdpcm"
+	"sdpcm/internal/obs"
 	"sdpcm/internal/pcm"
 	"sdpcm/internal/prof"
+	"sdpcm/internal/serve"
 )
 
 // resolveShards maps the -shards flag to a concrete shard count: 0 picks
@@ -41,31 +43,10 @@ func resolveShards(n int) int {
 	return n
 }
 
-type runner func(sdpcm.ExperimentOptions) (*sdpcm.ResultTable, error)
-
-func static(f func() *sdpcm.ResultTable) runner {
-	return func(sdpcm.ExperimentOptions) (*sdpcm.ResultTable, error) { return f(), nil }
-}
-
-var experiments = []struct {
-	name string
-	run  runner
-}{
-	{"table1", static(sdpcm.Table1)},
-	{"capacity", static(sdpcm.Capacity)},
-	{"fig4", sdpcm.Fig4},
-	{"fig5", sdpcm.Fig5},
-	{"fig11", sdpcm.Fig11},
-	{"fig12", sdpcm.Fig12},
-	{"fig13", sdpcm.Fig13},
-	{"fig14", sdpcm.Fig14},
-	{"fig15", sdpcm.Fig15},
-	{"fig16", sdpcm.Fig16},
-	{"fig17", sdpcm.Fig17},
-	{"fig18", sdpcm.Fig18},
-	{"fig19", sdpcm.Fig19},
-	{"overhead", static(sdpcm.Overhead)},
-}
+// experiments is the shared evaluation registry — the same list the sweep
+// service resolves job names against, so the -exp vocabulary and the job
+// API never drift apart.
+var experiments = sdpcm.Experiments()
 
 // tally accumulates sweep-point events for one experiment's summary line.
 type tally struct {
@@ -146,10 +127,18 @@ func run() int {
 		heatReg   = flag.Int("heatmap-regions", 16, "line-regions per bank in the WD heatmap")
 		ckptDir   = flag.String("checkpoint-dir", "", "directory of per-point resumable checkpoints: a killed sweep rerun with the same flags resumes every in-flight point (requires -checkpoint-every)")
 		ckptEvery = flag.Int("checkpoint-every", 0, "per-point checkpoint interval in processed references (0 disables)")
+		storeDir  = flag.String("result-store", "", "durable result-store directory: cacheable points are answered from it and persisted back, so identical sweeps across invocations (or via sdpcm-serve) skip simulation")
+		logMode   = flag.String("log", "", "structured logging to stderr: 'text' or 'json' (default: legacy plain output only)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 		memProf   = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	logger, err := obs.NewLogger(*logMode, os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sdpcm-bench: %v\n", err)
+		return 2
+	}
 
 	stopProf, err := prof.Start(prof.Flags{CPU: *cpuProf, Mem: *memProf})
 	if err != nil {
@@ -182,6 +171,14 @@ func run() int {
 	}
 	if *heatTab || *heatOut != "" {
 		opts.HeatmapRegions = *heatReg
+	}
+	if *storeDir != "" {
+		store, err := serve.OpenDiskStore(*storeDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sdpcm-bench: %v\n", err)
+			return 1
+		}
+		opts.Store = store
 	}
 	if *bench != "" {
 		known := map[string]bool{}
@@ -244,8 +241,8 @@ func run() int {
 	knownExp := map[string]bool{}
 	names := make([]string, 0, len(experiments))
 	for _, e := range experiments {
-		knownExp[e.name] = true
-		names = append(names, e.name)
+		knownExp[e.Name] = true
+		names = append(names, e.Name)
 	}
 	for name := range want {
 		if !knownExp[name] {
@@ -258,17 +255,17 @@ func run() int {
 	start := time.Now()
 	ranExps := make([]string, 0, len(experiments))
 	for _, e := range experiments {
-		if !runAll && !want[e.name] {
+		if !runAll && !want[e.Name] {
 			continue
 		}
-		ranExps = append(ranExps, e.name)
+		ranExps = append(ranExps, e.Name)
 		if tracker != nil {
-			tracker.Begin(e.name)
+			tracker.Begin(e.Name)
 		}
 		expStart := time.Now()
-		tb, err := e.run(opts)
+		tb, err := e.Run(opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.Name, err)
 			return 1
 		}
 		fmt.Println(tb)
@@ -276,18 +273,25 @@ func run() int {
 		c := counts.reset()
 		if c.points > 0 {
 			fmt.Fprintf(os.Stderr, "(%s completed in %v: %d points, %d simulated, %d cache hits, %s)\n",
-				e.name, time.Since(expStart).Round(time.Millisecond),
+				e.Name, time.Since(expStart).Round(time.Millisecond),
 				c.points, c.points-c.cached, c.cached, heapString())
 		} else {
 			fmt.Fprintf(os.Stderr, "(%s completed in %v, %s)\n",
-				e.name, time.Since(expStart).Round(time.Millisecond), heapString())
+				e.Name, time.Since(expStart).Round(time.Millisecond), heapString())
 		}
+		logger.Info("experiment done", "exp", e.Name,
+			"wall", time.Since(expStart).Round(time.Millisecond),
+			"points", c.points, "cache_hits", c.cached)
 	}
 	st := opts.Exec.Stats()
 	if st.Points > 0 {
 		fmt.Fprintf(os.Stderr, "total: %d points, %d simulated, %d cache hits, %v wall (parallel=%d, shards=%d), %s\n",
 			st.Points, st.SimRuns, st.CacheHits,
 			time.Since(start).Round(time.Millisecond), *parallel, opts.Shards, heapString())
+		logger.Info("sweep done", "experiments", len(ranExps),
+			"points", st.Points, "sim_runs", st.SimRuns,
+			"cache_hits", st.CacheHits, "store_hits", st.StoreHits,
+			"wall", time.Since(start).Round(time.Millisecond))
 	}
 	if *metricf != "" {
 		var err error

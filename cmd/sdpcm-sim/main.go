@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"sdpcm"
+	"sdpcm/internal/obs"
 	"sdpcm/internal/pcm"
 	"sdpcm/internal/prof"
 )
@@ -60,10 +61,17 @@ func run() int {
 		ckptPath  = flag.String("checkpoint", "", "periodically write a resumable sim-state checkpoint to this file (atomic replace; requires -checkpoint-every)")
 		ckptEvery = flag.Int("checkpoint-every", 0, "checkpoint interval in processed references (0 disables)")
 		resume    = flag.Bool("resume", false, "resume from the -checkpoint file when it exists; the resumed run's result is byte-identical to an uninterrupted one")
+		logMode   = flag.String("log", "", "structured logging to stderr: 'text' or 'json' (default: legacy plain output only)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 		memProf   = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	logger, err := obs.NewLogger(*logMode, os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sdpcm-sim: %v\n", err)
+		return 2
+	}
 
 	stopProf, err := prof.Start(prof.Flags{CPU: *cpuProf, Mem: *memProf})
 	if err != nil {
@@ -151,11 +159,15 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "no checkpoint at %s, starting cold\n", *ckptPath)
 		}
 	}
+	logger.Info("run starting", "scheme", s.Name, "bench", *bench,
+		"refs_per_core", cfg.RefsPerCore, "cores", *cores, "shards", cfg.Shards)
 	res, err := sdpcm.Run(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
+	logger.Info("run complete", "scheme", res.Scheme, "bench", *bench,
+		"cycles", res.Cycles, "cpi", res.CPI)
 
 	fmt.Printf("scheme        %s\n", res.Scheme)
 	fmt.Printf("workload      %s x %d cores\n", res.Mix, len(cfg.Mix.Cores)+len(cfg.Streams))

@@ -18,6 +18,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -81,12 +82,25 @@ type Options struct {
 	// CheckpointEvery is the per-point checkpoint interval in processed
 	// references (0 disables checkpointing).
 	CheckpointEvery int
-	// Observer receives per-point completion events.
+	// Store is the durable tier under the executor's in-memory memo cache:
+	// points whose canonical key is present are answered from it without
+	// simulating, and cold points persist their result back — the cache
+	// spans processes and users (see runner.MemoStore).
+	Store runner.MemoStore
+	// Observer receives per-point completion events. It is passed per
+	// figure call, so several jobs sharing one Exec each keep their own
+	// event stream.
 	Observer runner.Observer
+	// Ctx cancels an in-flight figure at sweep-point granularity: once
+	// done, points not yet simulating fail fast with Ctx.Err() while
+	// in-flight simulations complete (and still land in the cache). Nil
+	// means never canceled.
+	Ctx context.Context
 	// Exec, when set, executes every point and wins over
-	// Parallel/NoCache/Observer. Sharing one executor across several figure
+	// Parallel/NoCache/Store. Sharing one executor across several figure
 	// calls spans the memo cache across them, so points common to multiple
-	// figures simulate once (the sdpcm-bench -exp all path).
+	// figures simulate once (the sdpcm-bench -exp all path, and the sweep
+	// service's shared simulation farm).
 	Exec *runner.Runner
 }
 
@@ -136,6 +150,16 @@ func (o Options) exec() *runner.Runner {
 	return NewRunner(o)
 }
 
+// run executes one figure's specs through the executor, threading the
+// options' context and per-call observer.
+func (o Options) run(specs []runner.Spec) ([]sim.Result, error) {
+	ctx := o.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return o.exec().RunContext(ctx, o.base(), specs, o.Observer)
+}
+
 // NewRunner builds a sweep executor from the options. Callers running
 // several figures in one process assign it to Options.Exec so the memo
 // cache deduplicates points across figures.
@@ -144,6 +168,7 @@ func NewRunner(o Options) *runner.Runner {
 		Workers:         o.Parallel,
 		NoCache:         o.NoCache,
 		Observer:        o.Observer,
+		Store:           o.Store,
 		CheckpointDir:   o.CheckpointDir,
 		CheckpointEvery: o.CheckpointEvery,
 	}
@@ -236,7 +261,7 @@ func Fig4(o Options) (*stats.Table, error) {
 		Schemes:    []core.Scheme{core.Baseline()},
 		Benchmarks: o.Benchmarks,
 	}.Expand()
-	res, err := o.exec().Run(o.base(), specs)
+	res, err := o.run(specs)
 	if err != nil {
 		return nil, err
 	}
@@ -267,7 +292,7 @@ func Fig5(o Options) (*stats.Table, error) {
 			runner.Spec{Scheme: verifyOnly, Bench: b, Tag: "verify-only"},
 			runner.Spec{Scheme: core.Baseline(), Bench: b, Tag: "full"})
 	}
-	res, err := o.exec().Run(o.base(), specs)
+	res, err := o.run(specs)
 	if err != nil {
 		return nil, err
 	}
@@ -293,7 +318,7 @@ func Fig11(o Options) (*stats.Table, error) {
 		return nil, err
 	}
 	specs := rosterSpecs(o.Benchmarks, roster)
-	res, err := o.exec().Run(o.base(), specs)
+	res, err := o.run(specs)
 	if err != nil {
 		return nil, err
 	}
@@ -348,7 +373,7 @@ func ecpCols() []string {
 func Fig12(o Options) (*stats.Table, error) {
 	o = o.normalized()
 	specs := ecpSpecs(o.Benchmarks)
-	res, err := o.exec().Run(o.base(), specs)
+	res, err := o.run(specs)
 	if err != nil {
 		return nil, err
 	}
@@ -374,7 +399,7 @@ func Fig12(o Options) (*stats.Table, error) {
 func Fig13(o Options) (*stats.Table, error) {
 	o = o.normalized()
 	specs := ecpSpecs(o.Benchmarks)
-	res, err := o.exec().Run(o.base(), specs)
+	res, err := o.run(specs)
 	if err != nil {
 		return nil, err
 	}
@@ -411,7 +436,7 @@ func Fig14(o Options) (*stats.Table, error) {
 			})
 		}
 	}
-	res, err := o.exec().Run(o.base(), specs)
+	res, err := o.run(specs)
 	if err != nil {
 		return nil, err
 	}
@@ -453,7 +478,7 @@ func Fig15(o Options) (*stats.Table, error) {
 			})
 		}
 	}
-	res, err := o.exec().Run(o.base(), specs)
+	res, err := o.run(specs)
 	if err != nil {
 		return nil, err
 	}
@@ -490,7 +515,7 @@ func Fig16(o Options) (*stats.Table, error) {
 			specs = append(specs, runner.Spec{Scheme: s, Bench: b, Tag: tag.String()})
 		}
 	}
-	res, err := o.exec().Run(o.base(), specs)
+	res, err := o.run(specs)
 	if err != nil {
 		return nil, err
 	}
@@ -517,7 +542,7 @@ func lifetimeTable(o Options, title string, metric func(sim.Result) float64) (*s
 		Schemes:    []core.Scheme{core.LazyC(core.DefaultECPEntries)},
 		Benchmarks: o.Benchmarks,
 	}.Expand()
-	res, err := o.exec().Run(o.base(), specs)
+	res, err := o.run(specs)
 	if err != nil {
 		return nil, err
 	}
@@ -556,7 +581,7 @@ func Fig19(o Options) (*stats.Table, error) {
 		return nil, err
 	}
 	specs := rosterSpecs(o.Benchmarks, roster)
-	res, err := o.exec().Run(o.base(), specs)
+	res, err := o.run(specs)
 	if err != nil {
 		return nil, err
 	}
@@ -574,6 +599,65 @@ func Fig19(o Options) (*stats.Table, error) {
 	}
 	t.AddGeoMeanRow()
 	return t, nil
+}
+
+// Experiment is one named entry of the evaluation. The registry gives the
+// bench CLI's -exp flag and the sweep service's job API a single source of
+// truth for what can run and under what name. Static entries (Table1,
+// Capacity, Overhead) are closed-form: they simulate nothing and ignore
+// the options' sweep knobs.
+type Experiment struct {
+	Name   string
+	Static bool
+	Run    func(Options) (*stats.Table, error)
+}
+
+// staticExp wraps a closed-form table generator as a registry entry.
+func staticExp(name string, f func() *stats.Table) Experiment {
+	return Experiment{Name: name, Static: true,
+		Run: func(Options) (*stats.Table, error) { return f(), nil }}
+}
+
+// Registry lists every experiment in presentation order — the order
+// `sdpcm-bench -exp all` prints them.
+func Registry() []Experiment {
+	return []Experiment{
+		staticExp("table1", Table1),
+		staticExp("capacity", Capacity),
+		{Name: "fig4", Run: Fig4},
+		{Name: "fig5", Run: Fig5},
+		{Name: "fig11", Run: Fig11},
+		{Name: "fig12", Run: Fig12},
+		{Name: "fig13", Run: Fig13},
+		{Name: "fig14", Run: Fig14},
+		{Name: "fig15", Run: Fig15},
+		{Name: "fig16", Run: Fig16},
+		{Name: "fig17", Run: Fig17},
+		{Name: "fig18", Run: Fig18},
+		{Name: "fig19", Run: Fig19},
+		staticExp("overhead", Overhead),
+	}
+}
+
+// ExperimentNames returns the registry's names in order.
+func ExperimentNames() []string {
+	reg := Registry()
+	names := make([]string, len(reg))
+	for i, e := range reg {
+		names[i] = e.Name
+	}
+	return names
+}
+
+// ByName resolves one registry entry.
+func ByName(name string) (Experiment, error) {
+	for _, e := range Registry() {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (registered: %s)",
+		name, strings.Join(ExperimentNames(), "|"))
 }
 
 // Overhead regenerates the §6.2 hardware-cost analysis.

@@ -299,3 +299,33 @@ func TestTablesRenderable(t *testing.T) {
 		t.Fatal("table must render with title")
 	}
 }
+
+// TestRegistry pins the experiment name vocabulary shared by the bench CLI
+// and the sweep service, and that static entries run without simulating.
+func TestRegistry(t *testing.T) {
+	want := []string{"table1", "capacity", "fig4", "fig5", "fig11", "fig12",
+		"fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "overhead"}
+	got := ExperimentNames()
+	if len(got) != len(want) {
+		t.Fatalf("ExperimentNames() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExperimentNames()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	e, err := ByName("table1")
+	if err != nil || !e.Static {
+		t.Fatalf("ByName(table1) = %+v, %v; want a static entry", e, err)
+	}
+	tb, err := e.Run(Options{})
+	if err != nil || tb == nil {
+		t.Fatalf("static run = %v, %v", tb, err)
+	}
+	if e, err := ByName("fig11"); err != nil || e.Static {
+		t.Fatalf("ByName(fig11) = %+v, %v; want a sweep entry", e, err)
+	}
+	if _, err := ByName("fig99"); err == nil {
+		t.Fatal("ByName(fig99) should error")
+	}
+}

@@ -70,7 +70,8 @@ func TestHeatmapFlowsThroughCache(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Second identical pass is served from the memo cache; attach the
-	// observer directly to the shared executor (Exec wins over Options).
+	// observer to the shared executor (the per-call Options.Observer is
+	// nil, so the executor's own observer receives the events).
 	ex.Observer = c
 	if _, err := Fig12(o); err != nil {
 		t.Fatal(err)

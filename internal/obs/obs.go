@@ -12,6 +12,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -19,6 +20,7 @@ import (
 	"net/http/pprof"
 	"strconv"
 	"sync"
+	"time"
 
 	"sdpcm/internal/metrics"
 )
@@ -35,11 +37,20 @@ import (
 // lock, so publication and serving never race. The zero value is not usable;
 // construct with NewServer.
 type Server struct {
+	// ShutdownTimeout bounds how long Close waits for in-flight requests
+	// before falling back to a hard stop (0 picks a 5s default). Set it
+	// before Start.
+	ShutdownTimeout time.Duration
+
 	mu   sync.RWMutex
 	snap *metrics.Snapshot
 	prog *Progress
 	srv  *http.Server
 	ln   net.Listener
+
+	// metricsGate, when non-nil, runs at the top of the /metrics handler —
+	// a test hook for holding a request in flight across a Close call.
+	metricsGate func()
 }
 
 // NewServer builds a server with an empty snapshot and a fresh Progress
@@ -98,12 +109,26 @@ func (s *Server) Start(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// Close stops a started server; a no-op otherwise.
+// Close stops a started server gracefully; a no-op otherwise. It drains:
+// the listener closes immediately (no new connections), but requests
+// already in flight — a Prometheus scrape mid-render, say — get up to
+// ShutdownTimeout to complete before the hard stop drops whatever is left.
 func (s *Server) Close() error {
 	if s.srv == nil {
 		return nil
 	}
-	return s.srv.Close()
+	timeout := s.ShutdownTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		// Timed out (or the context machinery failed): fall back to the
+		// hard stop so Close never hangs on a stuck connection.
+		return s.srv.Close()
+	}
+	return nil
 }
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
@@ -115,6 +140,9 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	if s.metricsGate != nil {
+		s.metricsGate()
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := WritePrometheus(w, s.Snapshot()); err != nil {
 		// Headers are gone; all we can do is drop the connection.
@@ -129,35 +157,49 @@ func (s *Server) handleProgress(w http.ResponseWriter, _ *http.Request) {
 	enc.Encode(s.prog.Snapshot()) //nolint:errcheck // best effort over HTTP
 }
 
-// eventsPayload is the /events JSON shape.
-type eventsPayload struct {
-	Events  []metrics.Event `json:"events"`
-	Dropped uint64          `json:"dropped"`
+// EventsPayload is the /events JSON shape. Dropped counts events the
+// bounded ring overwrote before export (data lost at the producer);
+// Truncated counts events the client itself trimmed with ?n= (data still
+// in the snapshot, just not in this response). Conflating the two would
+// make a tight tail request look like ring overflow.
+type EventsPayload struct {
+	Events    []metrics.Event `json:"events"`
+	Dropped   uint64          `json:"dropped"`
+	Truncated uint64          `json:"truncated"`
 }
 
-func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
-	sn := s.Snapshot()
-	payload := eventsPayload{}
+// EventsTail builds the /events payload from a snapshot: the newest n
+// events (n < 0 keeps them all), the ring's overflow count, and how many
+// the limit trimmed. Shared by the one-process plane and the sweep
+// service's per-job events view.
+func EventsTail(sn *metrics.Snapshot, n int) EventsPayload {
+	payload := EventsPayload{}
 	if sn != nil {
 		payload.Events = sn.Events
 		payload.Dropped = sn.EventsDropped
 	}
-	if nStr := r.URL.Query().Get("n"); nStr != "" {
-		n, err := strconv.Atoi(nStr)
-		if err != nil || n < 0 {
-			http.Error(w, "bad n", http.StatusBadRequest)
-			return
-		}
-		if n < len(payload.Events) {
-			payload.Dropped += uint64(len(payload.Events) - n)
-			payload.Events = payload.Events[len(payload.Events)-n:]
-		}
+	if n >= 0 && n < len(payload.Events) {
+		payload.Truncated = uint64(len(payload.Events) - n)
+		payload.Events = payload.Events[len(payload.Events)-n:]
 	}
 	if payload.Events == nil {
 		payload.Events = []metrics.Event{}
 	}
+	return payload
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	n := -1
+	if nStr := r.URL.Query().Get("n"); nStr != "" {
+		var err error
+		n, err = strconv.Atoi(nStr)
+		if err != nil || n < 0 {
+			http.Error(w, "bad n", http.StatusBadRequest)
+			return
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(payload) //nolint:errcheck // best effort over HTTP
+	enc.Encode(EventsTail(s.Snapshot(), n)) //nolint:errcheck // best effort over HTTP
 }

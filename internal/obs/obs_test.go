@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"sdpcm/internal/metrics"
 	"sdpcm/internal/runner"
@@ -73,15 +74,16 @@ func TestServerEndpoints(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("/events -> %d", code)
 	}
-	var ep eventsPayload
+	var ep EventsPayload
 	if err := json.Unmarshal([]byte(body), &ep); err != nil {
 		t.Fatalf("/events not JSON: %v", err)
 	}
-	if len(ep.Events) != 2 {
-		t.Fatalf("/events returned %d events, want 2", len(ep.Events))
+	if len(ep.Events) != 2 || ep.Dropped != 0 || ep.Truncated != 0 {
+		t.Fatalf("/events = %+v, want 2 events, 0 dropped, 0 truncated", ep)
 	}
 
-	// ?n= keeps the newest tail and accounts for the trim in Dropped.
+	// ?n= keeps the newest tail; the trim is client-requested truncation,
+	// never ring overflow, and the two counts stay separate.
 	code, body, _ = get(t, ts.URL+"/events?n=1")
 	if code != http.StatusOK {
 		t.Fatalf("/events?n=1 -> %d", code)
@@ -89,8 +91,11 @@ func TestServerEndpoints(t *testing.T) {
 	if err := json.Unmarshal([]byte(body), &ep); err != nil {
 		t.Fatal(err)
 	}
-	if len(ep.Events) != 1 || ep.Events[0].Kind != metrics.EvWDFlushed || ep.Dropped != 1 {
+	if len(ep.Events) != 1 || ep.Events[0].Kind != metrics.EvWDFlushed {
 		t.Fatalf("/events?n=1 = %+v", ep)
+	}
+	if ep.Dropped != 0 || ep.Truncated != 1 {
+		t.Fatalf("/events?n=1 dropped=%d truncated=%d, want 0 and 1", ep.Dropped, ep.Truncated)
 	}
 
 	if code, _, _ := get(t, ts.URL+"/events?n=bogus"); code != http.StatusBadRequest {
@@ -117,12 +122,36 @@ func TestServerBeforeFirstSnapshot(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("empty /events -> %d", code)
 	}
-	var ep eventsPayload
+	var ep EventsPayload
 	if err := json.Unmarshal([]byte(body), &ep); err != nil {
 		t.Fatal(err)
 	}
 	if ep.Events == nil {
 		t.Fatal("/events must serve an empty array, not null")
+	}
+}
+
+// TestRingOverflowStaysDropped: events lost to the bounded ring surface as
+// Dropped even when the client also truncates with ?n=.
+func TestRingOverflowStaysDropped(t *testing.T) {
+	s, ts := testServer(t)
+	r := metrics.New()
+	tr := r.EnableTrace(2) // capacity 2: the first emit gets overwritten
+	tr.Emit(1, metrics.EvWDParked, 1, 0, 0)
+	tr.Emit(2, metrics.EvWDParked, 2, 0, 0)
+	tr.Emit(3, metrics.EvWDFlushed, 3, 0, 0)
+	s.SetSnapshot(r.Snapshot())
+
+	code, body, _ := get(t, ts.URL+"/events?n=1")
+	if code != http.StatusOK {
+		t.Fatalf("/events?n=1 -> %d", code)
+	}
+	var ep EventsPayload
+	if err := json.Unmarshal([]byte(body), &ep); err != nil {
+		t.Fatal(err)
+	}
+	if ep.Dropped != 1 || ep.Truncated != 1 || len(ep.Events) != 1 {
+		t.Fatalf("overflow+trim = %+v, want dropped=1 truncated=1 events=1", ep)
 	}
 }
 
@@ -141,5 +170,96 @@ func TestServerStartClose(t *testing.T) {
 	}
 	if _, err := http.Get("http://" + addr + "/progress"); err == nil {
 		t.Fatal("server still serving after Close")
+	}
+}
+
+// TestCloseDrainsInFlightRequest pins the graceful-drain contract: a
+// /metrics request already in the handler when Close is called completes
+// with its full body instead of being dropped mid-response.
+func TestCloseDrainsInFlightRequest(t *testing.T) {
+	s := NewServer()
+	r := metrics.New()
+	r.Counter("mc.write_ops").Add(42)
+	s.SetSnapshot(r.Snapshot())
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	s.metricsGate = func() {
+		close(entered)
+		<-release
+	}
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type reply struct {
+		code int
+		body string
+		err  error
+	}
+	got := make(chan reply, 1)
+	go func() {
+		resp, err := http.Get("http://" + addr + "/metrics")
+		if err != nil {
+			got <- reply{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		got <- reply{code: resp.StatusCode, body: string(body), err: err}
+	}()
+
+	<-entered // the request is in the handler, response unwritten
+	closed := make(chan error, 1)
+	go func() { closed <- s.Close() }()
+
+	// Close must wait for the in-flight handler, not kill it: the request
+	// must still be unanswered while the gate is held.
+	select {
+	case r := <-got:
+		t.Fatalf("request finished before the handler was released: %+v", r)
+	case <-closed:
+		t.Fatal("Close returned while a request was in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(release)
+	r2 := <-got
+	if r2.err != nil {
+		t.Fatalf("in-flight request dropped during shutdown: %v", r2.err)
+	}
+	if r2.code != http.StatusOK || !strings.Contains(r2.body, "sdpcm_mc_write_ops_total 42") {
+		t.Fatalf("in-flight request -> %d %q", r2.code, r2.body)
+	}
+	if err := <-closed; err != nil {
+		t.Fatalf("Close = %v", err)
+	}
+}
+
+// TestCloseHardStopAfterTimeout: a handler stuck past ShutdownTimeout must
+// not wedge Close forever — the hard-stop fallback kicks in.
+func TestCloseHardStopAfterTimeout(t *testing.T) {
+	s := NewServer()
+	s.ShutdownTimeout = 50 * time.Millisecond
+	release := make(chan struct{})
+	defer close(release)
+	entered := make(chan struct{})
+	s.metricsGate = func() {
+		close(entered)
+		<-release
+	}
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go http.Get("http://" + addr + "/metrics") //nolint:errcheck // dropped by design
+	<-entered
+	done := make(chan struct{})
+	go func() { s.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung past ShutdownTimeout")
 	}
 }

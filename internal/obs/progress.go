@@ -18,9 +18,10 @@ type ExperimentProgress struct {
 	// Total is the point count of the experiment's largest Run call — an
 	// upper bound on what remains when a figure issues several sweeps.
 	Total int `json:"total"`
-	// Done counts completed points (Cached + Errored included).
+	// Done counts completed points (Cached + Stored + Errored included).
 	Done    int `json:"done"`
 	Cached  int `json:"cached"`
+	Stored  int `json:"stored"`
 	Errored int `json:"errored"`
 }
 
@@ -29,9 +30,12 @@ type ProgressSnapshot struct {
 	// Experiments lists every section in Begin order; the last entry is the
 	// one currently executing.
 	Experiments []ExperimentProgress `json:"experiments"`
-	// PointsDone / PointsCached / PointsErrored tally the whole invocation.
+	// PointsDone / PointsCached / PointsStored / PointsErrored tally the
+	// whole invocation; Stored counts points answered by the durable result
+	// store without simulating.
 	PointsDone    int `json:"points_done"`
 	PointsCached  int `json:"points_cached"`
+	PointsStored  int `json:"points_stored"`
 	PointsErrored int `json:"points_errored"`
 	// RatePerSec is the EWMA point completion rate.
 	RatePerSec float64 `json:"rate_per_sec"`
@@ -56,6 +60,7 @@ type Progress struct {
 	rate     float64 // EWMA points/sec
 	done     int
 	cached   int
+	stored   int
 	errored  int
 	exps     []ExperimentProgress
 }
@@ -103,6 +108,10 @@ func (p *Progress) PointDone(ev runner.PointEvent) {
 		cur.Cached++
 		p.cached++
 	}
+	if ev.Stored {
+		cur.Stored++
+		p.stored++
+	}
 	if ev.Err != nil {
 		cur.Errored++
 		p.errored++
@@ -134,6 +143,7 @@ func (p *Progress) Snapshot() ProgressSnapshot {
 		Experiments:   append([]ExperimentProgress(nil), p.exps...),
 		PointsDone:    p.done,
 		PointsCached:  p.cached,
+		PointsStored:  p.stored,
 		PointsErrored: p.errored,
 		RatePerSec:    p.rate,
 	}

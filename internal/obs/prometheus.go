@@ -29,6 +29,33 @@ func promName(name string) string {
 	return b.String()
 }
 
+// Label is one Prometheus label pair attached to every series of a
+// rendered snapshot — the sweep service scopes each job's metrics with
+// {job="<id>"} this way.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// escapeLabelValue escapes a label value per the exposition format:
+// backslash, double quote and newline.
+func escapeLabelValue(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// labelSet renders the shared prefix of a label list: `job="x",tenant="y"`.
+func labelSet(labels []Label) string {
+	var b strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, promName(l.Name)[len(MetricPrefix):], escapeLabelValue(l.Value))
+	}
+	return b.String()
+}
+
 // WritePrometheus renders a metrics snapshot in the Prometheus text
 // exposition format (version 0.0.4): counters as `<name>_total`, gauges
 // bare, histograms as cumulative `_bucket{le=...}` series plus `_sum` and
@@ -40,18 +67,31 @@ func promName(name string) string {
 // counter `mc.read_latency_sum` from colliding with the `_sum` series of the
 // `mc.read_latency` histogram.
 func WritePrometheus(w io.Writer, s *metrics.Snapshot) error {
+	return WritePrometheusLabeled(w, s, nil)
+}
+
+// WritePrometheusLabeled is WritePrometheus with a label set attached to
+// every series (histogram buckets merge the labels with their `le`). Label
+// names are sanitized like metric names; values are escaped. An empty label
+// list renders identically to WritePrometheus.
+func WritePrometheusLabeled(w io.Writer, s *metrics.Snapshot, labels []Label) error {
 	if s == nil {
 		return nil
 	}
+	set := labelSet(labels)
+	brace := ""
+	if set != "" {
+		brace = "{" + set + "}"
+	}
 	for _, c := range s.Counters {
 		name := promName(c.Name) + "_total"
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, c.Value); err != nil {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s%s %d\n", name, name, brace, c.Value); err != nil {
 			return err
 		}
 	}
 	for _, g := range s.Gauges {
 		name := promName(g.Name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, g.Value); err != nil {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s%s %d\n", name, name, brace, g.Value); err != nil {
 			return err
 		}
 	}
@@ -60,6 +100,10 @@ func WritePrometheus(w io.Writer, s *metrics.Snapshot) error {
 		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
 			return err
 		}
+		sep := set
+		if sep != "" {
+			sep += ","
+		}
 		var cum uint64
 		for i, n := range h.Counts {
 			cum += n
@@ -67,11 +111,11 @@ func WritePrometheus(w io.Writer, s *metrics.Snapshot) error {
 			if i < len(h.Bounds) {
 				le = fmt.Sprintf("%d", h.Bounds[i])
 			}
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum); err != nil {
+			if _, err := fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", name, sep, le, cum); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, h.Sum, name, h.Count); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_sum%s %d\n%s_count%s %d\n", name, brace, h.Sum, name, brace, h.Count); err != nil {
 			return err
 		}
 	}

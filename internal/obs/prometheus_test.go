@@ -135,3 +135,65 @@ func TestPromName(t *testing.T) {
 		}
 	}
 }
+
+// TestWritePrometheusLabeled: every series carries the label set, histogram
+// buckets merge it with le, and values escape correctly.
+func TestWritePrometheusLabeled(t *testing.T) {
+	r := metrics.New()
+	r.Counter("mc.write_ops").Add(42)
+	r.Gauge("sim.cycles").Set(9)
+	h := r.Histogram("mc.read_latency", []uint64{10})
+	h.Observe(5)
+	h.Observe(50)
+
+	var b strings.Builder
+	if err := WritePrometheusLabeled(&b, r.Snapshot(), []Label{{Name: "job", Value: "job-1"}}); err != nil {
+		t.Fatal(err)
+	}
+	values, types := parseExposition(t, b.String())
+
+	want := map[string]uint64{
+		`sdpcm_mc_write_ops_total{job="job-1"}`:               42,
+		`sdpcm_sim_cycles{job="job-1"}`:                       9,
+		`sdpcm_mc_read_latency_bucket{job="job-1",le="10"}`:   1,
+		`sdpcm_mc_read_latency_bucket{job="job-1",le="+Inf"}`: 2,
+		`sdpcm_mc_read_latency_sum{job="job-1"}`:              55,
+		`sdpcm_mc_read_latency_count{job="job-1"}`:            2,
+	}
+	for series, v := range want {
+		if values[series] != v {
+			t.Errorf("%s = %d, want %d\nexposition:\n%s", series, values[series], v, b.String())
+		}
+	}
+	if types["sdpcm_mc_read_latency"] != "histogram" {
+		t.Errorf("histogram TYPE missing: %v", types)
+	}
+
+	// Unlabeled rendering must be byte-identical to WritePrometheus.
+	var plain, labeled strings.Builder
+	sn := r.Snapshot()
+	if err := WritePrometheus(&plain, sn); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrometheusLabeled(&labeled, sn, nil); err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != labeled.String() {
+		t.Error("nil-label rendering diverged from WritePrometheus")
+	}
+}
+
+// TestLabelEscaping: quotes, backslashes and newlines in label values must
+// not corrupt the exposition.
+func TestLabelEscaping(t *testing.T) {
+	r := metrics.New()
+	r.Counter("x").Add(1)
+	var b strings.Builder
+	if err := WritePrometheusLabeled(&b, r.Snapshot(), []Label{{Name: "job", Value: "a\"b\\c\nd"}}); err != nil {
+		t.Fatal(err)
+	}
+	want := `sdpcm_x_total{job="a\"b\\c\nd"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("escaped series missing:\n%s\nwant substring %q", b.String(), want)
+	}
+}

@@ -1,0 +1,24 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds the CLI-facing structured logger: mode "text" or "json"
+// renders slog records to w; "" discards them (the legacy plain-stderr
+// output stays the default, so scripts parsing it keep working). Any other
+// mode is an error.
+func NewLogger(mode string, w io.Writer) (*slog.Logger, error) {
+	switch mode {
+	case "":
+		return slog.New(slog.NewTextHandler(io.Discard, nil)), nil
+	case "text":
+		return slog.New(slog.NewTextHandler(w, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, nil)), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log mode %q (want text or json)", mode)
+	}
+}

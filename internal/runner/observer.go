@@ -15,8 +15,12 @@ type PointEvent struct {
 	Spec         Spec
 	// Wall is the point's wall time, including any wait for a concurrently
 	// executing duplicate.
-	Wall   time.Duration
+	Wall time.Duration
+	// Cached marks a point served from the in-memory memo cache (or
+	// coalesced onto a concurrently executing duplicate); Stored marks one
+	// answered by the durable MemoStore without a sim.Run call.
 	Cached bool
+	Stored bool
 	Err    error
 	// Result is the point's simulation outcome (nil on error). Cached
 	// points carry the memoized result, so per-point metrics snapshots flow
@@ -46,6 +50,8 @@ func Progress(w io.Writer) Observer {
 			status = "err"
 		case ev.Cached:
 			status = "hit"
+		case ev.Stored:
+			status = "dsk"
 		}
 		knobs := ""
 		if ev.Spec.QueueCap != 0 {

@@ -18,6 +18,7 @@
 package runner
 
 import (
+	"context"
 	"crypto/sha256"
 	"errors"
 	"fmt"
@@ -160,9 +161,12 @@ type Stats struct {
 	Points int
 	// SimRuns is the number of actual sim.Run invocations.
 	SimRuns int
-	// CacheHits counts points served from the memo cache, including points
-	// coalesced onto a concurrently executing duplicate.
+	// CacheHits counts points served from the in-memory memo cache,
+	// including points coalesced onto a concurrently executing duplicate.
 	CacheHits int
+	// StoreHits counts points answered by the durable MemoStore instead of
+	// sim.Run — cache hits that survived from an earlier process or job.
+	StoreHits int
 }
 
 // Runner executes sweep points on a bounded worker pool, memoizing results
@@ -191,6 +195,11 @@ type Runner struct {
 	// CheckpointEvery is the per-point checkpoint interval in processed
 	// references (see sim.Config.CheckpointEvery).
 	CheckpointEvery int
+	// Store, when non-nil, is the durable tier under the in-memory memo
+	// cache: owned points consult it before simulating and persist their
+	// result after a cold run, so the cache spans processes and users. See
+	// MemoStore for the contract.
+	Store MemoStore
 
 	mu    sync.Mutex
 	cache map[string]*entry
@@ -207,6 +216,10 @@ type entry struct {
 	done chan struct{}
 	res  sim.Result
 	err  error
+	// evicted marks an entry removed from the cache because its owner was
+	// canceled before producing a result: waiters from still-live contexts
+	// re-claim the key instead of inheriting the cancellation error.
+	evicted bool
 }
 
 // Stats returns a snapshot of the runner's counters.
@@ -222,7 +235,6 @@ func (r *Runner) claim(key string) (*entry, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if e, ok := r.cache[key]; ok {
-		r.stats.CacheHits++
 		return e, false
 	}
 	if r.cache == nil {
@@ -233,8 +245,32 @@ func (r *Runner) claim(key string) (*entry, bool) {
 	return e, true
 }
 
-// exec runs one simulation under the worker-pool semaphore.
-func (r *Runner) exec(cfg sim.Config) (sim.Result, error) {
+// evict removes a canceled owner's entry so the key can be claimed again;
+// the evicted flag is published to waiters by the subsequent close of
+// entry.done.
+func (r *Runner) evict(key string, e *entry) {
+	r.mu.Lock()
+	if r.cache[key] == e {
+		delete(r.cache, key)
+	}
+	e.evicted = true
+	r.mu.Unlock()
+}
+
+func (r *Runner) countHit(stored bool) {
+	r.mu.Lock()
+	if stored {
+		r.stats.StoreHits++
+	} else {
+		r.stats.CacheHits++
+	}
+	r.mu.Unlock()
+}
+
+// exec runs one simulation under the worker-pool semaphore. Cancellation is
+// cooperative at point granularity: a canceled context aborts the wait for
+// a worker slot, but a sim.Run already in flight always completes.
+func (r *Runner) exec(ctx context.Context, cfg sim.Config) (sim.Result, error) {
 	r.semOnce.Do(func() {
 		w := r.Workers
 		if w <= 0 {
@@ -242,8 +278,17 @@ func (r *Runner) exec(cfg sim.Config) (sim.Result, error) {
 		}
 		r.sem = make(chan struct{}, w)
 	})
-	r.sem <- struct{}{}
+	select {
+	case r.sem <- struct{}{}:
+	case <-ctx.Done():
+		return sim.Result{}, ctx.Err()
+	}
 	defer func() { <-r.sem }()
+	// The select above is a race when both cases are ready; re-check so a
+	// canceled context never starts a fresh simulation.
+	if err := ctx.Err(); err != nil {
+		return sim.Result{}, err
+	}
 	r.mu.Lock()
 	r.stats.SimRuns++
 	r.mu.Unlock()
@@ -260,14 +305,14 @@ func (r *Runner) checkpointPath(key string) string {
 // execPoint runs one owned cacheable point, wiring the checkpoint life
 // cycle around exec: resume from an existing file, fall back to a cold
 // start when the file is unusable, delete it once the point completes.
-func (r *Runner) execPoint(cfg sim.Config, key string) (sim.Result, error) {
+func (r *Runner) execPoint(ctx context.Context, cfg sim.Config, key string) (sim.Result, error) {
 	if r.CheckpointDir == "" || r.CheckpointEvery <= 0 {
-		return r.exec(cfg)
+		return r.exec(ctx, cfg)
 	}
 	if err := os.MkdirAll(r.CheckpointDir, 0o755); err != nil {
 		// Checkpointing is best-effort; an unusable directory must not
 		// fail the sweep.
-		return r.exec(cfg)
+		return r.exec(ctx, cfg)
 	}
 	path := r.checkpointPath(key)
 	cfg.CheckpointPath = path
@@ -275,16 +320,16 @@ func (r *Runner) execPoint(cfg sim.Config, key string) (sim.Result, error) {
 	if _, err := os.Stat(path); err == nil {
 		cfg.ResumeFrom = path
 	}
-	res, err := r.exec(cfg)
+	res, err := r.exec(ctx, cfg)
 	switch {
 	case errors.Is(err, sim.ErrResume):
 		// Stale, corrupt or mismatched checkpoint: discard it and run cold.
 		os.Remove(path)
 		cfg.ResumeFrom = ""
-		res, err = r.exec(cfg)
+		res, err = r.exec(ctx, cfg)
 	case errors.Is(err, sim.ErrCheckpointUnsupported):
 		cfg.CheckpointPath, cfg.CheckpointEvery, cfg.ResumeFrom = "", 0, ""
-		res, err = r.exec(cfg)
+		res, err = r.exec(ctx, cfg)
 	}
 	if err == nil {
 		os.Remove(path)
@@ -292,14 +337,93 @@ func (r *Runner) execPoint(cfg sim.Config, key string) (sim.Result, error) {
 	return res, err
 }
 
+// execOwned runs one owned cacheable point: the durable store is consulted
+// first, and a successful cold simulation is persisted back. The returned
+// bool reports a store hit.
+func (r *Runner) execOwned(ctx context.Context, cfg sim.Config, key string) (sim.Result, bool, error) {
+	if r.Store != nil {
+		if res, ok := r.Store.Load(key); ok {
+			r.countHit(true)
+			return res, true, nil
+		}
+	}
+	res, err := r.execPoint(ctx, cfg, key)
+	if err == nil && r.Store != nil {
+		// Best-effort: a full disk or unwritable store must not fail a
+		// sweep that already holds its result.
+		r.Store.Store(key, res) //nolint:errcheck
+	}
+	return res, false, err
+}
+
+// point executes one spec: uncacheable specs simulate directly; cacheable
+// specs go through the two-tier cache with duplicate coalescing. Waiters
+// whose owner was canceled re-claim the key rather than inheriting the
+// owner's cancellation error.
+func (r *Runner) point(ctx context.Context, cfg sim.Config, sp Spec) (res sim.Result, cached, stored bool, err error) {
+	key, cacheable := Key(cfg, sp.Overrides.HardErrorLifetime)
+	if !cacheable || r.NoCache {
+		res, err = r.exec(ctx, cfg)
+		return res, false, false, err
+	}
+	for {
+		e, owner := r.claim(key)
+		if owner {
+			res, stored, err = r.execOwned(ctx, cfg, key)
+			if err != nil && ctx.Err() != nil {
+				// A canceled owner must not poison the shared cache: evict
+				// before closing done so the next claimant simulates.
+				r.evict(key, e)
+			}
+			e.res, e.err = res, err
+			close(e.done)
+			return res, false, stored, err
+		}
+		select {
+		case <-e.done:
+			if e.evicted && ctx.Err() == nil {
+				continue
+			}
+			r.countHit(false)
+			return e.res, true, false, e.err
+		case <-ctx.Done():
+			return sim.Result{}, false, false, ctx.Err()
+		}
+	}
+}
+
 // Run executes every spec and returns the results in spec order. On
 // failure it returns the error of the lowest-index failing spec, so error
-// reporting is as deterministic as the results themselves.
+// reporting is as deterministic as the results themselves. It is
+// RunContext with a background context and the Runner's own Observer.
+func (r *Runner) Run(base Base, specs []Spec) ([]sim.Result, error) {
+	return r.RunContext(context.Background(), base, specs, nil)
+}
+
+// RunContext is Run with cooperative cancellation and a per-call observer —
+// the shape a multi-tenant sweep service needs, where one shared Runner
+// (one memo cache, one worker pool, one durable store) executes many
+// concurrent jobs that each want their own progress events and cancel
+// switch.
+//
+// Cancellation is at sweep-point granularity: once ctx is done, points not
+// yet simulating return ctx.Err() immediately (including points waiting for
+// a worker slot or for a duplicate), while a sim.Run already in flight
+// completes — and, being cacheable, still lands in the cache for the next
+// submission. A canceled point never poisons the shared memo cache: its
+// entry is evicted so concurrent duplicates from live contexts re-claim and
+// simulate.
+//
+// obs receives this call's per-point completion events; nil falls back to
+// the Runner's Observer field. Calls to either are serialized Runner-wide.
 //
 // Only the actual simulations occupy worker slots; points waiting on a
 // concurrently executing duplicate (or served from the cache) do not, so a
 // single worker can never deadlock against its own duplicates.
-func (r *Runner) Run(base Base, specs []Spec) ([]sim.Result, error) {
+func (r *Runner) RunContext(ctx context.Context, base Base, specs []Spec, obs Observer) ([]sim.Result, error) {
+	if obs == nil {
+		obs = r.Observer
+	}
 	results := make([]sim.Result, len(specs))
 	errs := make([]error, len(specs))
 	var wg sync.WaitGroup
@@ -309,34 +433,22 @@ func (r *Runner) Run(base Base, specs []Spec) ([]sim.Result, error) {
 			defer wg.Done()
 			start := time.Now()
 			cfg := sp.Resolve(base)
-			var cached bool
-			key, cacheable := Key(cfg, sp.Overrides.HardErrorLifetime)
-			if cacheable && !r.NoCache {
-				e, owner := r.claim(key)
-				if owner {
-					e.res, e.err = r.execPoint(cfg, key)
-					close(e.done)
-				} else {
-					<-e.done
-					cached = true
-				}
-				results[i], errs[i] = e.res, e.err
-			} else {
-				results[i], errs[i] = r.exec(cfg)
-			}
+			var cached, stored bool
+			results[i], cached, stored, errs[i] = r.point(ctx, cfg, sp)
 			ev := PointEvent{
 				Index:  i,
 				Total:  len(specs),
 				Spec:   sp,
 				Wall:   time.Since(start),
 				Cached: cached,
+				Stored: stored,
 				Err:    errs[i],
 			}
 			if errs[i] == nil {
 				res := results[i]
 				ev.Result = &res
 			}
-			r.observe(ev)
+			r.observe(obs, ev)
 		}(i, sp)
 	}
 	wg.Wait()
@@ -351,8 +463,7 @@ func (r *Runner) Run(base Base, specs []Spec) ([]sim.Result, error) {
 	return results, nil
 }
 
-func (r *Runner) observe(ev PointEvent) {
-	obs := r.Observer
+func (r *Runner) observe(obs Observer, ev PointEvent) {
 	if obs == nil {
 		return
 	}

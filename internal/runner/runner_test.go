@@ -1,6 +1,8 @@
 package runner
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -11,6 +13,7 @@ import (
 	"sdpcm/internal/alloc"
 	"sdpcm/internal/core"
 	"sdpcm/internal/mc"
+	"sdpcm/internal/pcm"
 	"sdpcm/internal/sim"
 	"sdpcm/internal/trace"
 	"sdpcm/internal/workload"
@@ -388,5 +391,160 @@ func TestCheckpointCorruptFallsBackCold(t *testing.T) {
 	}
 	if _, err := os.Stat(path); !os.IsNotExist(err) {
 		t.Errorf("corrupt checkpoint not removed: %v", err)
+	}
+}
+
+// mapStore is an in-memory MemoStore for tests: a map guarded by a mutex,
+// with counters for Load/Store traffic.
+type mapStore struct {
+	mu     sync.Mutex
+	m      map[string]sim.Result
+	loads  int
+	stores int
+}
+
+func newMapStore() *mapStore { return &mapStore{m: map[string]sim.Result{}} }
+
+func (s *mapStore) Load(key string) (sim.Result, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.loads++
+	res, ok := s.m[key]
+	return res, ok
+}
+
+func (s *mapStore) Store(key string, res sim.Result) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stores++
+	s.m[key] = res
+	return nil
+}
+
+// TestMemoStoreRoundTrip pins the durable-tier contract: a fresh Runner
+// sharing the store of a completed sweep answers the identical sweep with
+// zero sim.Run calls, and the results are identical values.
+func TestMemoStoreRoundTrip(t *testing.T) {
+	store := newMapStore()
+	base := testBase()
+	specs := testSpecs()
+
+	first := &Runner{Workers: 4, Store: store}
+	want, err := first.Run(base, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := first.Stats(); st.StoreHits != 0 || st.SimRuns != len(specs)-1 {
+		t.Fatalf("cold run stats = %+v", st)
+	}
+	if store.stores != len(specs)-1 {
+		t.Fatalf("cold run persisted %d entries, want %d", store.stores, len(specs)-1)
+	}
+
+	// A new Runner = a new process: the in-memory cache is empty, so every
+	// unique point must be answered by the store.
+	second := &Runner{Workers: 4, Store: store}
+	var events []PointEvent
+	second.Observer = ObserverFunc(func(ev PointEvent) { events = append(events, ev) })
+	got, err := second.Run(base, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := second.Stats()
+	if st.SimRuns != 0 {
+		t.Errorf("warm run simulated %d points, want 0", st.SimRuns)
+	}
+	if st.StoreHits != len(specs)-1 || st.CacheHits != 1 {
+		t.Errorf("warm run StoreHits = %d, CacheHits = %d; want %d and 1",
+			st.StoreHits, st.CacheHits, len(specs)-1)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("point %d diverged through the store:\n got %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+	stored := 0
+	for _, ev := range events {
+		if ev.Err != nil {
+			t.Fatalf("warm point errored: %v", ev.Err)
+		}
+		if ev.Stored {
+			stored++
+		}
+	}
+	if stored != len(specs)-1 {
+		t.Errorf("%d events marked Stored, want %d", stored, len(specs)-1)
+	}
+}
+
+// TestMemoStoreSkipsUncacheable: points without a canonical key must bypass
+// the store entirely.
+func TestMemoStoreSkipsUncacheable(t *testing.T) {
+	store := newMapStore()
+	r := &Runner{Workers: 1, Store: store}
+	sc := core.Baseline()
+	sc.HardErrorFn = func(pcm.LineAddr) int { return 0 } // opaque: unkeyable
+	if _, err := r.Run(testBase(), []Spec{{Scheme: sc, Bench: "lbm"}}); err != nil {
+		t.Fatal(err)
+	}
+	if store.loads != 0 || store.stores != 0 {
+		t.Errorf("uncacheable point touched the store: %d loads, %d stores", store.loads, store.stores)
+	}
+}
+
+// TestRunContextCanceled: a canceled context fails queued points fast with
+// ctx.Err() and never runs their simulations.
+func TestRunContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := &Runner{Workers: 1}
+	_, err := r.RunContext(ctx, testBase(), testSpecs(), nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st := r.Stats(); st.SimRuns != 0 {
+		t.Errorf("canceled run simulated %d points", st.SimRuns)
+	}
+}
+
+// TestCanceledOwnerDoesNotPoisonCache: after a canceled RunContext, the
+// same Runner must still simulate the points on a live context instead of
+// serving the cancellation error from the memo cache.
+func TestCanceledOwnerDoesNotPoisonCache(t *testing.T) {
+	r := &Runner{Workers: 2}
+	base := testBase()
+	specs := testSpecs()[:2]
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.RunContext(ctx, base, specs, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	res, err := r.RunContext(context.Background(), base, specs, nil)
+	if err != nil {
+		t.Fatalf("retry after cancel: %v", err)
+	}
+	if len(res) != len(specs) || res[0].Cycles == 0 {
+		t.Fatalf("retry returned empty results: %+v", res)
+	}
+}
+
+// TestRunContextPerCallObserver: the per-call observer wins over the Runner
+// field, so concurrent jobs sharing one Runner get their own event streams.
+func TestRunContextPerCallObserver(t *testing.T) {
+	var viaField, viaCall int
+	r := &Runner{Workers: 2, Observer: ObserverFunc(func(PointEvent) { viaField++ })}
+	obs := ObserverFunc(func(PointEvent) { viaCall++ })
+	specs := testSpecs()[:2]
+	if _, err := r.RunContext(context.Background(), testBase(), specs, obs); err != nil {
+		t.Fatal(err)
+	}
+	if viaCall != len(specs) || viaField != 0 {
+		t.Errorf("observer calls: per-call %d (want %d), field %d (want 0)", viaCall, len(specs), viaField)
+	}
+	if _, err := r.Run(testBase(), specs); err != nil {
+		t.Fatal(err)
+	}
+	if viaField != len(specs) {
+		t.Errorf("Run fell back to field observer %d times, want %d", viaField, len(specs))
 	}
 }

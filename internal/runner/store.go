@@ -1,0 +1,31 @@
+package runner
+
+import "sdpcm/internal/sim"
+
+// MemoStore is a durable second tier under the Runner's in-memory memo
+// cache. The Runner consults it exactly where it would otherwise simulate:
+// when a point's canonical config key (see Key) misses the in-memory map,
+// the owning goroutine asks the store before calling sim.Run, and persists
+// the result after a successful cold execution.
+//
+// Because the key is a canonical encoding of the resolved config, a store
+// shared between processes — or between the jobs of a long-running sweep
+// service — answers repeated submissions without simulating at all: the
+// cache outlives the process that populated it.
+//
+// Implementations must be safe for concurrent use; the Runner calls Load
+// and Store from many worker goroutines at once. A Load must only report a
+// hit for a result that was stored completely and intact — a partial or
+// corrupt entry is a miss, never an error (the Runner's fallback is simply
+// to simulate). Store failures are likewise non-fatal: the Runner treats
+// the durable tier as best-effort and ignores the returned error, which
+// exists so implementations can surface diagnostics to their own callers.
+type MemoStore interface {
+	// Load returns the result stored under a canonical config key, and
+	// whether the lookup hit. A miss (false) triggers a simulation.
+	Load(key string) (sim.Result, bool)
+	// Store persists a freshly simulated result under its key. The result
+	// must round-trip: a later Load must return a value that renders
+	// byte-identically in every table and export.
+	Store(key string, res sim.Result) error
+}

@@ -24,7 +24,7 @@ import (
 // forbiddenImports maps a package directory to import prefixes its non-test
 // files must not pull in. Arrows point up the stack only:
 //
-//	cmd, facade → experiments, runner, obs → sim → core, imdb → mc → device models
+//	cmd, facade → serve → experiments, runner, obs → sim → core, imdb → mc → device models
 var forbiddenImports = map[string][]string{
 	// The controller core is beneath the scheme/sim/harness layers; a policy
 	// interface that imported its own assembler would be circular by design.
@@ -34,6 +34,7 @@ var forbiddenImports = map[string][]string{
 		"sdpcm/internal/experiments",
 		"sdpcm/internal/runner",
 		"sdpcm/internal/obs",
+		"sdpcm/internal/serve",
 		"sdpcm/internal/imdb",
 	},
 	// The scheme layer assembles controller configs; it must not depend on
@@ -44,6 +45,7 @@ var forbiddenImports = map[string][]string{
 		"sdpcm/internal/experiments",
 		"sdpcm/internal/runner",
 		"sdpcm/internal/obs",
+		"sdpcm/internal/serve",
 		"sdpcm/internal/imdb",
 	},
 	// A plugin sits beside core: it may use mc and core, not the harness.
@@ -52,12 +54,26 @@ var forbiddenImports = map[string][]string{
 		"sdpcm/internal/experiments",
 		"sdpcm/internal/runner",
 		"sdpcm/internal/obs",
+		"sdpcm/internal/serve",
 	},
 	// The simulator drives the controller; the harness drives the simulator.
 	"internal/sim": {
 		"sdpcm/internal/experiments",
 		"sdpcm/internal/runner",
 		"sdpcm/internal/obs",
+		"sdpcm/internal/serve",
+	},
+	// The sweep service composes the harness layers; none of them may know
+	// it exists — jobs, the HTTP surface and the durable store stay an
+	// optional shell over experiments/runner/obs, never a dependency of them.
+	"internal/experiments": {
+		"sdpcm/internal/serve",
+	},
+	"internal/runner": {
+		"sdpcm/internal/serve",
+	},
+	"internal/obs": {
+		"sdpcm/internal/serve",
 	},
 }
 

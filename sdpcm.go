@@ -219,6 +219,16 @@ func WritePrometheus(w io.Writer, s *MetricsSnapshot) error {
 	return obs.WritePrometheus(w, s)
 }
 
+// PromLabel is one Prometheus label pair for WritePrometheusLabeled — the
+// sweep service scopes each job's series with {job="<id>"} this way.
+type PromLabel = obs.Label
+
+// WritePrometheusLabeled renders a metrics snapshot with a label set
+// attached to every series (histogram buckets merge the labels with `le`).
+func WritePrometheusLabeled(w io.Writer, s *MetricsSnapshot, labels []PromLabel) error {
+	return obs.WritePrometheusLabeled(w, s, labels)
+}
+
 // HeatmapSnapshot is the WD spatial heatmap export: per bank × line-region
 // injected flips, parked errors and cascade activity. Enable via
 // SimConfig.HeatmapRegions (or ExperimentOptions.HeatmapRegions) and read
@@ -394,6 +404,12 @@ type SweepRunner = runner.Runner
 // SweepStats is a snapshot of a runner's point/simulation/cache counters.
 type SweepStats = runner.Stats
 
+// SweepMemoStore is the durable tier under a runner's in-memory memo
+// cache: assign one (e.g. the sweep service's on-disk result store) to
+// SweepRunner.Store or ExperimentOptions.Store and cacheable points hit
+// disk across processes instead of re-simulating.
+type SweepMemoStore = runner.MemoStore
+
 // SweepObserver receives one event per completed sweep point.
 type SweepObserver = runner.Observer
 
@@ -433,3 +449,17 @@ var (
 	Fig19    = experiments.Fig19
 	Overhead = experiments.Overhead
 )
+
+// Experiment is one named entry of the evaluation registry — the single
+// source of truth behind sdpcm-bench's -exp vocabulary and the sweep
+// service's job API.
+type Experiment = experiments.Experiment
+
+// Experiments lists every registered experiment in presentation order.
+func Experiments() []Experiment { return experiments.Registry() }
+
+// ExperimentNames lists the registry's names in order.
+func ExperimentNames() []string { return experiments.ExperimentNames() }
+
+// ExperimentByName resolves one registry entry.
+func ExperimentByName(name string) (Experiment, error) { return experiments.ByName(name) }
