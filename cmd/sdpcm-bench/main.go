@@ -31,6 +31,7 @@ import (
 	"sdpcm/internal/pcm"
 	"sdpcm/internal/prof"
 	"sdpcm/internal/serve"
+	"sdpcm/internal/topo"
 )
 
 // resolveShards maps the -shards flag to a concrete shard count: 0 picks
@@ -128,6 +129,9 @@ func run() int {
 		ckptDir   = flag.String("checkpoint-dir", "", "directory of per-point resumable checkpoints: a killed sweep rerun with the same flags resumes every in-flight point (requires -checkpoint-every)")
 		ckptEvery = flag.Int("checkpoint-every", 0, "per-point checkpoint interval in processed references (0 disables)")
 		storeDir  = flag.String("result-store", "", "durable result-store directory: cacheable points are answered from it and persisted back, so identical sweeps across invocations (or via sdpcm-serve) skip simulation")
+		storeMaxB = flag.Int64("store-max-bytes", 0, "prune the -result-store down to this many bytes at startup, oldest entries first (0 = unbounded)")
+		storeAge  = flag.Duration("store-max-age", 0, "prune -result-store entries older than this at startup (e.g. 720h; 0 = keep forever)")
+		topoFile  = flag.String("topology", "", "JSON topology spec file: run every point on the multi-module simulator it describes (see DESIGN.md §9)")
 		logMode   = flag.String("log", "", "structured logging to stderr: 'text' or 'json' (default: legacy plain output only)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 		memProf   = flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -178,7 +182,25 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "sdpcm-bench: %v\n", err)
 			return 1
 		}
+		store.ConfigureGC(serve.GCPolicy{MaxBytes: *storeMaxB, MaxAge: *storeAge})
+		if n, freed, err := store.Prune(time.Now()); err != nil {
+			fmt.Fprintf(os.Stderr, "sdpcm-bench: %v\n", err)
+			return 1
+		} else if n > 0 {
+			logger.Info("result store pruned", "entries", n, "bytes_freed", freed)
+		}
 		opts.Store = store
+	} else if *storeMaxB > 0 || *storeAge > 0 {
+		fmt.Fprintf(os.Stderr, "sdpcm-bench: -store-max-bytes/-store-max-age require -result-store (usage: -result-store DIR -store-max-bytes N)\n")
+		return 2
+	}
+	if *topoFile != "" {
+		spec, err := topo.Load(*topoFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sdpcm-bench: %v (usage: -topology spec.json; see DESIGN.md §9)\n", err)
+			return 2
+		}
+		opts.Topology = spec
 	}
 	if *bench != "" {
 		known := map[string]bool{}

@@ -2,18 +2,40 @@
 // without running any simulation: the Table 1 disturbance probabilities,
 // the Figure 1 layout summary, the §6.1 capacity/chip-size analysis and the
 // §6.2 hardware-overhead accounting.
+//
+// Usage:
+//
+//	sdpcm-capacity -gb 4
+//	sdpcm-capacity -gb 16 -log json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"sdpcm"
+	"sdpcm/internal/obs"
 )
 
-func main() {
-	capacityGB := flag.Float64("gb", 4, "memory capacity to analyse (GB)")
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		capacityGB = flag.Float64("gb", 4, "memory capacity to analyse (GB)")
+		logMode    = flag.String("log", "", "structured logging to stderr: 'text' or 'json' (default: plain output only)")
+	)
 	flag.Parse()
+
+	logger, err := obs.NewLogger(*logMode, os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sdpcm-capacity: %v (usage: -log text|json)\n", err)
+		return 2
+	}
+	if *capacityGB <= 0 {
+		fmt.Fprintf(os.Stderr, "sdpcm-capacity: -gb must be positive, got %g (usage: -gb 4)\n", *capacityGB)
+		return 2
+	}
 
 	fmt.Println(sdpcm.Table1())
 
@@ -47,4 +69,8 @@ func main() {
 
 	fmt.Println(sdpcm.Capacity())
 	fmt.Println(sdpcm.Overhead())
+
+	logger.Info("capacity analysis done", "gb", *capacityGB,
+		"sdpcm_gb", sd, "din_gb", din, "improvement", imp)
+	return 0
 }

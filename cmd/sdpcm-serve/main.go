@@ -35,6 +35,9 @@ func run() int {
 	var (
 		listen       = flag.String("listen", ":8344", "HTTP listen address (host:port; :0 picks a free port)")
 		storeDir     = flag.String("store", "sdpcm-results", "durable result-store directory ('' disables persistence; in-memory memoization only)")
+		storeMaxB    = flag.Int64("store-max-bytes", 0, "prune the result store down to this many bytes, oldest entries first (0 = unbounded)")
+		storeAge     = flag.Duration("store-max-age", 0, "prune result-store entries older than this (e.g. 720h; 0 = keep forever)")
+		gcInterval   = flag.Duration("store-gc-interval", 10*time.Minute, "how often the result-store retention policy is re-applied while serving")
 		maxJobs      = flag.Int("max-jobs", 2, "concurrently running jobs; further submissions queue in order")
 		workers      = flag.Int("workers", 0, "concurrent simulations across all jobs (0 = all cores)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for running jobs before canceling them cooperatively")
@@ -54,6 +57,20 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "sdpcm-serve: %v\n", err)
 			return 1
 		}
+		if *storeMaxB > 0 || *storeAge > 0 {
+			store.ConfigureGC(serve.GCPolicy{MaxBytes: *storeMaxB, MaxAge: *storeAge})
+			if n, freed, err := store.Prune(time.Now()); err != nil {
+				fmt.Fprintf(os.Stderr, "sdpcm-serve: %v\n", err)
+				return 1
+			} else if n > 0 {
+				logger.Info("result store pruned", "entries", n, "bytes_freed", freed)
+			}
+			stopGC := store.StartGC(*gcInterval)
+			defer stopGC()
+		}
+	} else if *storeMaxB > 0 || *storeAge > 0 {
+		fmt.Fprintf(os.Stderr, "sdpcm-serve: -store-max-bytes/-store-max-age require -store (usage: -store DIR -store-max-bytes N)\n")
+		return 2
 	}
 	mgr := serve.NewManager(serve.ManagerConfig{
 		Store:   store,

@@ -21,6 +21,7 @@ import (
 	"sdpcm/internal/obs"
 	"sdpcm/internal/pcm"
 	"sdpcm/internal/prof"
+	"sdpcm/internal/topo"
 )
 
 // resolveShards maps the -shards flag to a concrete shard count: 0 picks
@@ -48,6 +49,7 @@ func run() int {
 		queue     = flag.Int("queue", 32, "write queue entries per bank")
 		seed      = flag.Uint64("seed", 42, "random seed")
 		shards    = flag.Int("shards", 0, "bank-shard worker goroutines per run (0 = min(banks, GOMAXPROCS), 1 = single-goroutine; results are byte-identical)")
+		topoFile  = flag.String("topology", "", "JSON topology spec file: run on the multi-module memory it describes instead of the single default DIMM (see DESIGN.md §9)")
 		noBase    = flag.Bool("no-baseline", false, "skip the baseline comparison run")
 		traces    = flag.String("trace", "", "comma-separated trace files to replay (one per core) instead of -bench")
 		metricf   = flag.String("metrics", "", "append the run's metrics snapshot: 'json' or 'table'")
@@ -118,6 +120,14 @@ func run() int {
 	if *heatTab || *heatOut != "" {
 		cfg.HeatmapRegions = *heatReg
 	}
+	if *topoFile != "" {
+		spec, err := topo.Load(*topoFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sdpcm-sim: %v (usage: -topology spec.json; see DESIGN.md §9)\n", err)
+			return 2
+		}
+		cfg.Topology = spec
+	}
 	if *listen != "" {
 		srv := sdpcm.NewObsServer()
 		addr, err := srv.Start(*listen)
@@ -175,6 +185,12 @@ func run() int {
 	fmt.Printf("cycles        %d\n", res.Cycles)
 	fmt.Printf("instructions  %d\n", res.Instructions)
 	fmt.Printf("CPI           %.3f\n", res.CPI)
+	if *topoFile != "" && !*noBase {
+		// Per-module scheme overrides would make a "baseline" rerun compare a
+		// topology against itself; the comparison only names single-DIMM runs.
+		*noBase = true
+		fmt.Printf("speedup       n/a (baseline comparison is single-DIMM only; -topology set)\n")
+	}
 	if !*noBase {
 		baseCfg := cfg
 		baseCfg.Scheme = sdpcm.Baseline()
@@ -211,6 +227,13 @@ func run() int {
 	fmt.Printf("lifetime      data chips %.5f, ECP chip %.5f (normalised)\n",
 		res.DataChipLifetime(), res.ECPChipLifetime())
 	fmt.Printf("VM            %d page faults, %d TLB misses\n", res.PageFaults, res.TLBMisses)
+	if len(res.Modules) > 0 {
+		fmt.Println()
+		for _, m := range res.Modules {
+			fmt.Printf("module %-8s %s, %d banks, %d pages, link %d cycles: %d write ops, %.3f corrections/write\n",
+				m.Name, m.Scheme, m.Banks, m.Pages, m.LinkCycles, m.MC.WriteOps, m.CorrectionsPerWrite())
+		}
+	}
 
 	if res.Metrics != nil && *metricf != "" {
 		fmt.Println()

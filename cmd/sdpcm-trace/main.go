@@ -13,10 +13,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 
 	"sdpcm/internal/cpu"
+	"sdpcm/internal/obs"
 	"sdpcm/internal/trace"
 	"sdpcm/internal/workload"
 )
@@ -50,6 +52,16 @@ func fail(err error) {
 	os.Exit(1)
 }
 
+// mustLogger resolves the shared -log flag (” = no structured output,
+// matching the other sdpcm commands); an unknown mode is a usage error.
+func mustLogger(mode string) *slog.Logger {
+	logger, err := obs.NewLogger(mode, os.Stderr)
+	if err != nil {
+		usagef("%v (usage: -log text|json)", err)
+	}
+	return logger
+}
+
 // benchSpec resolves a -bench name, exiting 2 with the known vocabulary on a
 // miss (a misspelled benchmark is a usage error, not a runtime failure).
 func benchSpec(bench string) workload.Spec {
@@ -66,7 +78,9 @@ func gen(args []string) {
 	refs := fs.Int("refs", 100000, "references to generate")
 	seed := fs.Uint64("seed", 1, "random seed")
 	out := fs.String("o", "", "output file (default <bench>.trc)")
+	logMode := fs.String("log", "", "structured logging to stderr: 'text' or 'json'")
 	fs.Parse(args)
+	logger := mustLogger(*logMode)
 	if *refs <= 0 {
 		usagef("gen: -refs must be positive (got %d)", *refs)
 	}
@@ -76,7 +90,9 @@ func gen(args []string) {
 		fail(err)
 	}
 	recs := workload.Capture(g, *refs)
-	writeTrace(orDefault(*out, *bench+".trc"), recs)
+	path := orDefault(*out, *bench+".trc")
+	writeTrace(path, recs)
+	logger.Info("trace generated", "bench", *bench, "refs", len(recs), "path", path)
 }
 
 func capture(args []string) {
@@ -87,7 +103,9 @@ func capture(args []string) {
 	scale := fs.Float64("cpu-scale", 20, "CPU access intensity multiplier over the memory-level RPKI/WPKI")
 	seed := fs.Uint64("seed", 1, "random seed")
 	out := fs.String("o", "", "output file (default <bench>-cap.trc)")
+	logMode := fs.String("log", "", "structured logging to stderr: 'text' or 'json'")
 	fs.Parse(args)
+	logger := mustLogger(*logMode)
 	if *refs <= 0 {
 		usagef("capture: -refs must be positive (got %d)", *refs)
 	}
@@ -106,14 +124,21 @@ func capture(args []string) {
 		len(res.Records), res.CPUAccesses, res.Instructions)
 	fmt.Printf("L1 miss %.4f  L2 miss %.4f  L3 miss %.4f\n",
 		res.L1.MissRate(), res.L2.MissRate(), res.L3.MissRate())
-	writeTrace(orDefault(*out, *bench+"-cap.trc"), res.Records)
+	path := orDefault(*out, *bench+"-cap.trc")
+	writeTrace(path, res.Records)
+	logger.Info("trace captured", "bench", *bench, "refs", len(res.Records),
+		"cpu_accesses", res.CPUAccesses, "path", path)
 }
 
 func info(args []string) {
-	if len(args) != 1 {
-		usagef("info: expected exactly one trace file, got %d args", len(args))
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	logMode := fs.String("log", "", "structured logging to stderr: 'text' or 'json'")
+	fs.Parse(args)
+	logger := mustLogger(*logMode)
+	if fs.NArg() != 1 {
+		usagef("info: expected exactly one trace file, got %d args", fs.NArg())
 	}
-	f, err := os.Open(args[0])
+	f, err := os.Open(fs.Arg(0))
 	if err != nil {
 		fail(err)
 	}
@@ -127,6 +152,7 @@ func info(args []string) {
 	fmt.Printf("instructions  %d\n", st.Instrs)
 	fmt.Printf("RPKI / WPKI   %.2f / %.2f\n", st.RPKI(), st.WPKI())
 	fmt.Printf("pages touched %d\n", st.Pages)
+	logger.Info("trace inspected", "path", fs.Arg(0), "records", st.Records, "pages", st.Pages)
 }
 
 func orDefault(v, d string) string {

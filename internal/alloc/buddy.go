@@ -38,6 +38,8 @@ type Allocator struct {
 	totalPages  int
 	regionPages int // marking-region span ("64MB" in the paper)
 	regionOrder int
+	stripPages  int // device strip width in pages (the module's bank count)
+	stripOrder  int
 	maxOrder    int
 
 	free      map[Tag][][]int // free[tag][order] = sorted block starts
@@ -57,8 +59,19 @@ type Allocator struct {
 // regionPages; regionPages must be a power of two and at least two strips
 // (so marking is meaningful).
 func New(totalPages, regionPages int) (*Allocator, error) {
-	if regionPages < 2*StripPages || regionPages&(regionPages-1) != 0 {
-		return nil, fmt.Errorf("alloc: regionPages %d must be a power of two >= %d", regionPages, 2*StripPages)
+	return NewWithStrip(totalPages, regionPages, StripPages)
+}
+
+// NewWithStrip builds an allocator whose device strip is stripPages wide —
+// the bank count of the module it allocates for. New uses the default
+// 16-bank strip; multi-module topologies size each module's allocator to
+// its own geometry.
+func NewWithStrip(totalPages, regionPages, stripPages int) (*Allocator, error) {
+	if stripPages < 1 || stripPages&(stripPages-1) != 0 {
+		return nil, fmt.Errorf("alloc: stripPages %d must be a power of two", stripPages)
+	}
+	if regionPages < 2*stripPages || regionPages&(regionPages-1) != 0 {
+		return nil, fmt.Errorf("alloc: regionPages %d must be a power of two >= %d", regionPages, 2*stripPages)
 	}
 	if totalPages <= 0 || totalPages%regionPages != 0 {
 		return nil, fmt.Errorf("alloc: totalPages %d must be a positive multiple of regionPages %d", totalPages, regionPages)
@@ -67,6 +80,8 @@ func New(totalPages, regionPages int) (*Allocator, error) {
 		totalPages:  totalPages,
 		regionPages: regionPages,
 		regionOrder: log2(regionPages),
+		stripPages:  stripPages,
+		stripOrder:  log2(stripPages),
 		maxOrder:    log2ceil(totalPages),
 		free:        make(map[Tag][][]int),
 		fragments:   make(map[Tag]map[int]bool),
@@ -83,8 +98,11 @@ func New(totalPages, regionPages int) (*Allocator, error) {
 // RegionPages returns the marking-region span in pages.
 func (a *Allocator) RegionPages() int { return a.regionPages }
 
+// StripPages returns the device strip width in pages.
+func (a *Allocator) StripPages() int { return a.stripPages }
+
 // StripsPerRegion returns the number of strips in one marking region.
-func (a *Allocator) StripsPerRegion() int { return a.regionPages / StripPages }
+func (a *Allocator) StripsPerRegion() int { return a.regionPages / a.stripPages }
 
 func log2(x int) int {
 	n := 0
@@ -123,7 +141,7 @@ func (a *Allocator) usablePages(t Tag, start, order int) int {
 		return 1 << order
 	}
 	span := 1 << order
-	if order <= StripOrder {
+	if order <= a.stripOrder {
 		// Within one strip: all or nothing.
 		if t.StripInUse(a.stripIndex(start)) {
 			return span
@@ -131,12 +149,12 @@ func (a *Allocator) usablePages(t Tag, start, order int) int {
 		return 0
 	}
 	firstStrip := a.stripIndex(start)
-	return t.UsableStripsPer(firstStrip, span/StripPages) * StripPages
+	return t.UsableStripsPer(firstStrip, span/a.stripPages) * a.stripPages
 }
 
 // stripIndex returns the strip index of a page within its marking region.
 func (a *Allocator) stripIndex(page int) int {
-	return (page % a.regionPages) / StripPages
+	return (page % a.regionPages) / a.stripPages
 }
 
 // StripIndexInRegion exposes stripIndex for the memory controller, which
@@ -207,7 +225,7 @@ func (a *Allocator) insert(t Tag, start, order int) {
 		if buddy >= a.totalPages {
 			break
 		}
-		if order == StripOrder && t.N != t.M && a.frags(t)[buddy] {
+		if order == a.stripOrder && t.N != t.M && a.frags(t)[buddy] {
 			delete(a.frags(t), buddy)
 		} else if !a.removeFromList(t, order, buddy) {
 			break
@@ -262,11 +280,11 @@ func (a *Allocator) splitTo(t Tag, start, order, targetOrder, request int) (int,
 // release links a split-off half to the free lists, or parks a no-use strip
 // as an external fragment.
 func (a *Allocator) release(t Tag, start, order, usable int) {
-	if t.N != t.M && order == StripOrder && usable == 0 {
+	if t.N != t.M && order == a.stripOrder && usable == 0 {
 		a.frags(t)[start] = true
 		return
 	}
-	if t.N != t.M && order < StripOrder {
+	if t.N != t.M && order < a.stripOrder {
 		// Sub-strip blocks only exist inside in-use strips; a no-use one
 		// would be a bug upstream.
 		if usable == 0 {
@@ -287,7 +305,7 @@ func (a *Allocator) Alloc(pages int, t Tag) (Block, error) {
 		return Block{}, fmt.Errorf("alloc: non-positive request %d", pages)
 	}
 	order := log2ceil(pages)
-	if t.N != t.M && pages >= StripPages {
+	if t.N != t.M && pages >= a.stripPages {
 		// Strip-sized and larger requests are size-adjusted for the
 		// capacity lost to no-use strips (§4.4: a 16-page request under a
 		// n≠m allocator is always adjusted to 32 pages). Sub-strip requests
@@ -409,7 +427,7 @@ func (a *Allocator) Snapshot() Stats {
 		}
 	}
 	for _, f := range a.fragments {
-		st.FragmentPages += len(f) * StripPages
+		st.FragmentPages += len(f) * a.stripPages
 	}
 	for _, b := range a.allocated {
 		st.AllocatedPages += b.Pages()

@@ -29,6 +29,7 @@ import (
 	"sdpcm/internal/sim"
 	"sdpcm/internal/stats"
 	"sdpcm/internal/thermal"
+	"sdpcm/internal/topo"
 	"sdpcm/internal/workload"
 )
 
@@ -68,6 +69,10 @@ type Options struct {
 	// it when a run is dominated by a few large points; Parallel is the
 	// better lever when a sweep has many independent points.
 	Shards int
+	// Topology, when non-default, runs every simulation point on the
+	// multi-module simulator described by the spec (see sim.Config.Topology).
+	// Nil keeps the classic single-DIMM behaviour and cache keys.
+	Topology *topo.Spec
 	// Parallel bounds concurrent simulations (0 = GOMAXPROCS, 1 =
 	// sequential). Results are identical either way.
 	Parallel int
@@ -138,6 +143,7 @@ func (o Options) base() runner.Base {
 		TraceEvents:    o.TraceEvents,
 		HeatmapRegions: o.HeatmapRegions,
 		Shards:         o.Shards,
+		Topology:       o.Topology,
 	}
 }
 
@@ -636,6 +642,7 @@ func Registry() []Experiment {
 		{Name: "fig18", Run: Fig18},
 		{Name: "fig19", Run: Fig19},
 		staticExp("overhead", Overhead),
+		{Name: "fig-topo2", Run: FigTopo2},
 	}
 }
 
@@ -658,6 +665,40 @@ func ByName(name string) (Experiment, error) {
 	}
 	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (registered: %s)",
 		name, strings.Join(ExperimentNames(), "|"))
+}
+
+// FigTopo2 demonstrates the declarative topology layer on the two-module
+// demo spec (topo.Demo2): a "near" DIMM running basic VnC next to a "far"
+// CXL-attached module (600-cycle link) running LazyCorrection with ECP-6.
+// Cores alternate between modules, so each benchmark splits its footprint
+// across both; the table reports whole-system CPI plus each module's write
+// volume and corrections-per-write — the far module parks WD errors lazily
+// while the near one corrects eagerly.
+func FigTopo2(o Options) (*stats.Table, error) {
+	o = o.normalized()
+	if o.Topology.IsDefault() {
+		o.Topology = topo.Demo2()
+	}
+	specs := runner.Grid{
+		Schemes:    []core.Scheme{core.Baseline()},
+		Benchmarks: o.Benchmarks,
+	}.Expand()
+	res, err := o.run(specs)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Topology demo: near DIMM (VnC) + far CXL module (LazyC, ECP-6)",
+		"cpi", "near-writes", "near-corr/wr", "far-writes", "far-corr/wr")
+	for i, sp := range specs {
+		r := res[i]
+		t.Set(sp.Bench, "cpi", r.CPI)
+		for _, m := range r.Modules {
+			t.Set(sp.Bench, m.Name+"-writes", float64(m.MC.WriteOps))
+			t.Set(sp.Bench, m.Name+"-corr/wr", m.CorrectionsPerWrite())
+		}
+	}
+	t.AddGeoMeanRow()
+	return t, nil
 }
 
 // Overhead regenerates the §6.2 hardware-cost analysis.

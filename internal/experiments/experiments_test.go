@@ -275,6 +275,27 @@ func TestFig19Shape(t *testing.T) {
 	}
 }
 
+func TestFigTopo2Shape(t *testing.T) {
+	tb, err := FigTopo2(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cores split round-robin across the two modules, so both must see
+	// substantial write traffic; the eager-VnC near module corrects inline
+	// on every disturbed write while the LazyC far module parks disturbances
+	// in ECP, so their correction rates must sit orders apart.
+	nearW := tb.Get("gmean", "near-writes")
+	farW := tb.Get("gmean", "far-writes")
+	if nearW == 0 || farW == 0 {
+		t.Fatalf("a module saw no writes: near %v, far %v", nearW, farW)
+	}
+	nearC := tb.Get("gmean", "near-corr/wr")
+	farC := tb.Get("gmean", "far-corr/wr")
+	if !(nearC > 10*farC) {
+		t.Errorf("VnC module corr/wr %v must dwarf LazyC's %v", nearC, farC)
+	}
+}
+
 func TestOverheadTable(t *testing.T) {
 	tb := Overhead()
 	// §6.2: ~4KB of PreRead buffering per bank.
@@ -304,7 +325,8 @@ func TestTablesRenderable(t *testing.T) {
 // and the sweep service, and that static entries run without simulating.
 func TestRegistry(t *testing.T) {
 	want := []string{"table1", "capacity", "fig4", "fig5", "fig11", "fig12",
-		"fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "overhead"}
+		"fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
+		"overhead", "fig-topo2"}
 	got := ExperimentNames()
 	if len(got) != len(want) {
 		t.Fatalf("ExperimentNames() = %v, want %v", got, want)

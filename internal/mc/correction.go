@@ -195,7 +195,7 @@ func (c *Controller) correctLine(addr pcm.LineAddr, newFlips pcm.Mask, depth int
 		c.Stats.CascadeTruncated++
 		return cycles
 	}
-	above, below, okA, okB := pcm.AdjacentLines(addr, c.dev.RowsPerBank)
+	above, below, okA, okB := c.geo.AdjacentLines(addr, c.dev.RowsPerBank)
 	vt, vb := c.verifySides(addr.Page())
 	if (okA && vt || okB && vb) && c.tr != nil {
 		c.tr.Emit(c.engine.Now, metrics.EvCascadeStep, uint64(addr), uint64(depth+1), 0)

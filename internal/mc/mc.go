@@ -216,6 +216,7 @@ type RegionResolver interface {
 type Controller struct {
 	cfg    Config
 	dev    *pcm.Device
+	geo    pcm.Geometry
 	ecp    *ecp.Table
 	codec  Encoder
 	engine *wd.Engine
@@ -273,11 +274,12 @@ func New(cfg Config, dev *pcm.Device, region RegionResolver, rnd *rng.Rand) (*Co
 	c := &Controller{
 		cfg:    cfg,
 		dev:    dev,
+		geo:    dev.Geometry(),
 		ecp:    table,
 		codec:  codec,
 		engine: wd.New(cfg.Rates, rnd.SplitLabeled("mc:wd")),
 		region: region,
-		banks:  make([]bank, pcm.NumBanks),
+		banks:  make([]bank, dev.Banks()),
 	}
 	c.readOverride, _ = cfg.Correction.(ReadOverrider)
 	c.writeObserver, _ = cfg.Correction.(WriteObserver)
@@ -339,7 +341,7 @@ func (c *Controller) PeekData(a pcm.LineAddr) pcm.Line {
 // Wear-leveling copies read through this so a queued-but-undrained write is
 // never lost by a rotation.
 func (c *Controller) LatestData(a pcm.LineAddr) pcm.Line {
-	b := &c.banks[pcm.Locate(a).Bank]
+	b := &c.banks[c.geo.Locate(a).Bank]
 	if e := b.findEntry(a); e != nil {
 		return e.data
 	}

@@ -141,7 +141,7 @@ func (c *Controller) executeNext(b *bank, burst bool) {
 // cancellation.
 func (c *Controller) Write(now uint64, addr pcm.LineAddr, data pcm.Line) {
 	c.Stats.WriteRequests++
-	loc := pcm.Locate(addr)
+	loc := c.geo.Locate(addr)
 	b := &c.banks[loc.Bank]
 	c.catchUp(b, now)
 	if e := b.findEntry(addr); e != nil {
@@ -182,7 +182,7 @@ func (c *Controller) newEntry(addr pcm.LineAddr, data pcm.Line) *writeEntry {
 	} else {
 		e = &writeEntry{id: c.nextID, addr: addr, data: data}
 	}
-	e.top, e.below, e.topOK, e.belowOK = pcm.AdjacentLines(addr, c.dev.RowsPerBank)
+	e.top, e.below, e.topOK, e.belowOK = c.geo.AdjacentLines(addr, c.dev.RowsPerBank)
 	vt, vb := c.verifySides(addr.Page())
 	e.verifyTop = vt && e.topOK
 	e.verifyBelow = vb && e.belowOK

@@ -13,7 +13,7 @@ import (
 // data is available and the (ECP-corrected, decoded) line content.
 func (c *Controller) Read(now uint64, addr pcm.LineAddr) (uint64, pcm.Line) {
 	c.Stats.DemandReads++
-	loc := pcm.Locate(addr)
+	loc := c.geo.Locate(addr)
 	b := &c.banks[loc.Bank]
 	// Write-queue forwarding: the freshest value lives in the queue.
 	if e := b.findEntry(addr); e != nil {

@@ -11,6 +11,11 @@
 // vulnerable (§2.2.1).
 package pcm
 
+import (
+	"fmt"
+	"math/bits"
+)
+
 // Geometry constants of the Figure 6 / Table 2 organisation.
 const (
 	// LineBytes is the memory line (and LLC block) size.
@@ -95,14 +100,74 @@ func (p PageAddr) StripIndex() int { return int(uint64(p) / NumBanks) }
 // the rows physically above and below within the same bank (pages p±NumBanks).
 // ok is false for a neighbour that falls outside [0, rows) of the bank.
 func AdjacentLines(a LineAddr, rowsPerBank int) (above, below LineAddr, okAbove, okBelow bool) {
-	loc := Locate(a)
+	return DefaultGeometry.AdjacentLines(a, rowsPerBank)
+}
+
+// Geometry generalizes the strip-interleaved layout of §4.1 to a
+// configurable power-of-two bank count: page p lives in bank p mod Banks at
+// row p div Banks. The bank count is a power of two with a precomputed
+// shift, so the hot-path address arithmetic stays shifts and masks exactly
+// like the fixed-constant layout. The zero Geometry is invalid; use
+// DefaultGeometry or NewGeometry.
+type Geometry struct {
+	banks int
+	shift uint
+}
+
+// DefaultGeometry is the fixed Figure 6 DIMM layout: NumBanks (16) banks.
+var DefaultGeometry = Geometry{banks: NumBanks, shift: uint(bits.TrailingZeros(NumBanks))}
+
+// NewGeometry builds a layout over the given bank count (a power of two).
+func NewGeometry(banks int) (Geometry, error) {
+	if banks < 1 || banks&(banks-1) != 0 {
+		return Geometry{}, fmt.Errorf("pcm: bank count %d not a power of two", banks)
+	}
+	return Geometry{banks: banks, shift: uint(bits.TrailingZeros(uint(banks)))}, nil
+}
+
+// Banks returns the layout's bank count (and strip width in pages).
+func (g Geometry) Banks() int { return g.banks }
+
+// Locate maps a line address to its device coordinates under the layout.
+func (g Geometry) Locate(a LineAddr) Loc {
+	p := uint64(a.Page())
+	return Loc{
+		Bank: int(p & uint64(g.banks-1)),
+		Row:  int(p >> g.shift),
+		Slot: a.Slot(),
+	}
+}
+
+// AddrOf is the inverse of Locate.
+func (g Geometry) AddrOf(l Loc) LineAddr {
+	page := uint64(l.Row)<<g.shift | uint64(l.Bank)
+	return LineOf(PageAddr(page), l.Slot)
+}
+
+// StripIndex returns the device strip (row index across banks) of a page.
+func (g Geometry) StripIndex(p PageAddr) int { return int(uint64(p) >> g.shift) }
+
+// AdjacentLines returns the bit-line neighbours of a line under the layout
+// (pages p±Banks); ok is false outside [0, rowsPerBank).
+func (g Geometry) AdjacentLines(a LineAddr, rowsPerBank int) (above, below LineAddr, okAbove, okBelow bool) {
+	loc := g.Locate(a)
 	if loc.Row > 0 {
-		above = AddrOf(Loc{Bank: loc.Bank, Row: loc.Row - 1, Slot: loc.Slot})
+		above = g.AddrOf(Loc{Bank: loc.Bank, Row: loc.Row - 1, Slot: loc.Slot})
 		okAbove = true
 	}
 	if loc.Row < rowsPerBank-1 {
-		below = AddrOf(Loc{Bank: loc.Bank, Row: loc.Row + 1, Slot: loc.Slot})
+		below = g.AddrOf(Loc{Bank: loc.Bank, Row: loc.Row + 1, Slot: loc.Slot})
 		okBelow = true
 	}
+	return
+}
+
+// bankLocal maps a line address to its bank and bank-local line index
+// (row*LinesPerPage+slot). Bank count and LinesPerPage are powers of two,
+// so the arithmetic is shifts and masks.
+func (g Geometry) bankLocal(a LineAddr) (bank, local int) {
+	page := uint64(a) / LinesPerPage
+	bank = int(page & uint64(g.banks-1))
+	local = int(page>>g.shift)*LinesPerPage + int(uint64(a)%LinesPerPage)
 	return
 }

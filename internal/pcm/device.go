@@ -128,13 +128,15 @@ type Device struct {
 	RowsPerBank int
 	Timing      Timing
 
+	geo Geometry
+
 	// stats is sharded per bank (cache-line padded) so controllers driving
 	// disjoint banks from different goroutines can count without contention;
 	// Stats() folds the shards.
-	stats [NumBanks]bankStats
+	stats []bankStats
 
-	banks        [NumBanks][]*lineChunk
-	slabs        [NumBanks][]lineChunk // per-bank bulk-zeroed arenas chunks are handed out from
+	banks        [][]*lineChunk
+	slabs        [][]lineChunk // per-bank bulk-zeroed arenas chunks are handed out from
 	linesPerBank int
 	numLines     int // cached Lines(): the bound checkRange tests per access
 	fillSeed     uint64
@@ -144,8 +146,12 @@ type Device struct {
 // Config parameterises a Device.
 type Config struct {
 	// Pages is the number of physical pages the device exposes. It must be
-	// a positive multiple of NumBanks so every bank has the same row count.
+	// a positive multiple of the bank count so every bank has the same row
+	// count.
 	Pages int
+	// Banks is the module's bank count, a power of two (0 = NumBanks, the
+	// Figure 6 DIMM).
+	Banks int
 	// Timing defaults to DefaultTiming when zero.
 	Timing Timing
 	// FillSeed drives the deterministic background content of untouched
@@ -158,8 +164,16 @@ type Config struct {
 
 // NewDevice builds a device with cfg.Pages pages.
 func NewDevice(cfg Config) (*Device, error) {
-	if cfg.Pages <= 0 || cfg.Pages%NumBanks != 0 {
-		return nil, fmt.Errorf("pcm: Pages must be a positive multiple of %d, got %d", NumBanks, cfg.Pages)
+	nbanks := cfg.Banks
+	if nbanks == 0 {
+		nbanks = NumBanks
+	}
+	geo, err := NewGeometry(nbanks)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Pages <= 0 || cfg.Pages%nbanks != 0 {
+		return nil, fmt.Errorf("pcm: Pages must be a positive multiple of %d, got %d", nbanks, cfg.Pages)
 	}
 	t := cfg.Timing
 	if t == (Timing{}) {
@@ -169,19 +183,29 @@ func NewDevice(cfg Config) (*Device, error) {
 		return nil, fmt.Errorf("pcm: ParallelBits must be positive, got %d", t.ParallelBits)
 	}
 	d := &Device{
-		RowsPerBank: cfg.Pages / NumBanks,
+		RowsPerBank: cfg.Pages / nbanks,
 		Timing:      t,
+		geo:         geo,
+		stats:       make([]bankStats, nbanks),
+		banks:       make([][]*lineChunk, nbanks),
+		slabs:       make([][]lineChunk, nbanks),
 		fillSeed:    cfg.FillSeed,
 		zeroFill:    cfg.ZeroFill,
 	}
 	d.linesPerBank = d.RowsPerBank * LinesPerPage
-	d.numLines = d.linesPerBank * NumBanks
+	d.numLines = d.linesPerBank * nbanks
 	chunksPerBank := (d.linesPerBank + chunkLines - 1) / chunkLines
 	for b := range d.banks {
 		d.banks[b] = make([]*lineChunk, chunksPerBank)
 	}
 	return d, nil
 }
+
+// Banks returns the device's bank count.
+func (d *Device) Banks() int { return d.geo.banks }
+
+// Geometry returns the device's bank layout.
+func (d *Device) Geometry() Geometry { return d.geo }
 
 // Stats folds the per-bank counter shards into one aggregate view. It is
 // only meaningful when no bank is concurrently active (e.g. after a run, or
@@ -201,12 +225,12 @@ func (d *Device) BankStats(bank int) Stats { return d.stats[bank].Stats }
 // it — the controller's read-combining paths serve data from queue state but
 // still occupy the array (verification, cascade and pre-reads).
 func (d *Device) CountRead(a LineAddr) {
-	bank, _ := bankLocal(a)
+	bank, _ := d.geo.bankLocal(a)
 	d.stats[bank].Reads++
 }
 
 // Pages returns the number of pages the device exposes.
-func (d *Device) Pages() int { return d.RowsPerBank * NumBanks }
+func (d *Device) Pages() int { return d.RowsPerBank * d.geo.banks }
 
 // Lines returns the number of lines the device exposes.
 func (d *Device) Lines() int { return d.numLines }
@@ -229,16 +253,6 @@ func (d *Device) background(a LineAddr) Line {
 		l[i] = z ^ (z >> 31)
 	}
 	return l
-}
-
-// bankLocal maps a line address to its bank and bank-local line index
-// (row*LinesPerPage+slot). NumBanks and LinesPerPage are powers of two, so
-// the divisions compile to shifts.
-func bankLocal(a LineAddr) (bank, local int) {
-	page := uint64(a) / LinesPerPage
-	bank = int(page % NumBanks)
-	local = int(page/NumBanks)*LinesPerPage + int(uint64(a)%LinesPerPage)
-	return
 }
 
 // checkRange panics on out-of-range addresses: callers are inside the
@@ -269,7 +283,7 @@ func (d *Device) materializeChunk(bank, ci int) *lineChunk {
 // line returns a pointer to the stored image of a line, materializing its
 // chunk and its background content on first touch.
 func (d *Device) line(a LineAddr) *Line {
-	bank, local := bankLocal(a)
+	bank, local := d.geo.bankLocal(a)
 	ch := d.banks[bank][local>>chunkShift]
 	if ch == nil {
 		ch = d.materializeChunk(bank, local>>chunkShift)
@@ -291,7 +305,7 @@ func (d *Device) line(a LineAddr) *Line {
 // scans stay cheap on memory.
 func (d *Device) Peek(a LineAddr) Line {
 	d.checkRange(a)
-	bank, local := bankLocal(a)
+	bank, local := d.geo.bankLocal(a)
 	if ch := d.banks[bank][local>>chunkShift]; ch != nil {
 		if idx := local & chunkMask; ch.resident&(1<<idx) != 0 {
 			return ch.lines[idx]
@@ -318,7 +332,7 @@ type WriteResult struct {
 // the pulse maps and bank occupancy. kind attributes the wear.
 func (d *Device) Write(a LineAddr, new Line, kind WriteKind) WriteResult {
 	d.checkRange(a)
-	bank, _ := bankLocal(a)
+	bank, _ := d.geo.bankLocal(a)
 	l := d.line(a)
 	// Fused differential write: one pass computes both pulse maps, their
 	// popcounts and the stored update (DiffMasks + 2×PopCount + copy would
@@ -352,7 +366,7 @@ func (d *Device) Write(a LineAddr, new Line, kind WriteKind) WriteResult {
 // unmaterialized.
 func (d *Device) Disturb(a LineAddr, flips Mask) int {
 	d.checkRange(a)
-	bank, local := bankLocal(a)
+	bank, local := d.geo.bankLocal(a)
 	ch := d.banks[bank][local>>chunkShift]
 	idx := local & chunkMask
 	n := 0

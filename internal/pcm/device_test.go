@@ -258,7 +258,7 @@ func TestDisturbDoesNotMaterializeOnNoop(t *testing.T) {
 	if d.banks[0] == nil {
 		t.Fatal("bank table missing")
 	}
-	bank, local := bankLocal(a)
+	bank, local := d.geo.bankLocal(a)
 	if d.banks[bank][local>>chunkShift] != nil {
 		t.Fatal("no-op disturb materialized a chunk")
 	}

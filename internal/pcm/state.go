@@ -50,7 +50,7 @@ func DecodeLine(d *snap.Decoder) Line {
 // targets a freshly built Device of the same Config.
 func (d *Device) EncodeState(e *snap.Encoder) {
 	e.Begin("pcm.device")
-	for b := 0; b < NumBanks; b++ {
+	for b := range d.banks {
 		encodeStats(e, d.stats[b].Stats)
 		n := 0
 		for _, ch := range d.banks[b] {
@@ -79,7 +79,7 @@ func (d *Device) EncodeState(e *snap.Encoder) {
 // constructed with the same Config.
 func (d *Device) DecodeState(dec *snap.Decoder) error {
 	dec.Begin("pcm.device")
-	for b := 0; b < NumBanks; b++ {
+	for b := range d.banks {
 		decodeStats(dec, &d.stats[b].Stats)
 		for ci := range d.banks[b] {
 			d.banks[b][ci] = nil

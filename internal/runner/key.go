@@ -60,5 +60,11 @@ func Key(cfg sim.Config, hardErrorLifetime float64) (string, bool) {
 	for _, t := range cfg.CoreTags {
 		fmt.Fprintf(&b, ",%d:%d", t.N, t.M)
 	}
+	// The topology segment is appended only for non-default specs, so every
+	// key (and durable store entry) minted before the topology layer existed
+	// stays valid.
+	if !cfg.Topology.IsDefault() {
+		fmt.Fprintf(&b, "|topo=%q", cfg.Topology.Canon())
+	}
 	return b.String(), true
 }

@@ -30,6 +30,7 @@ import (
 
 	"sdpcm/internal/core"
 	"sdpcm/internal/sim"
+	"sdpcm/internal/topo"
 	"sdpcm/internal/workload"
 )
 
@@ -58,6 +59,10 @@ type Base struct {
 	// Result at every shard count, so points differing only in Shards are
 	// the same point.
 	Shards int
+	// Topology, when non-default, runs every point on the multi-module
+	// simulator (see sim.Config.Topology). Part of the cache key via its
+	// canonical rendering; nil keeps old keys (and stored results) valid.
+	Topology *topo.Spec
 }
 
 func (b Base) normalized() Base {
@@ -110,6 +115,7 @@ func (s Spec) Resolve(b Base) sim.Config {
 		TraceEvents:    b.TraceEvents,
 		HeatmapRegions: b.HeatmapRegions,
 		Shards:         b.Shards,
+		Topology:       b.Topology,
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"sync"
 	"testing"
 	"time"
@@ -58,7 +59,7 @@ func TestDeterminism(t *testing.T) {
 			continue
 		}
 		for i := range res {
-			if res[i] != ref[i] {
+			if !reflect.DeepEqual(res[i], ref[i]) {
 				t.Errorf("Workers=%d NoCache=%t: point %d diverged:\n got %+v\nwant %+v",
 					r.Workers, r.NoCache, i, res[i], ref[i])
 			}
@@ -81,7 +82,7 @@ func TestCacheDedup(t *testing.T) {
 		t.Errorf("SimRuns = %d, CacheHits = %d; want %d and 1 (one duplicate point)",
 			st.SimRuns, st.CacheHits, len(specs)-1)
 	}
-	if res[0] != res[3] {
+	if !reflect.DeepEqual(res[0], res[3]) {
 		t.Error("duplicate specs returned different results")
 	}
 	// A second Run of the same grid is served entirely from the cache.
@@ -93,7 +94,7 @@ func TestCacheDedup(t *testing.T) {
 		t.Errorf("re-run simulated %d new points, want 0", got.SimRuns-st.SimRuns)
 	}
 	for i := range res2 {
-		if res2[i] != res[i] {
+		if !reflect.DeepEqual(res2[i], res[i]) {
 			t.Errorf("cached point %d differs from original", i)
 		}
 	}
@@ -304,7 +305,7 @@ func TestCheckpointSweepUnperturbed(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range res {
-		if res[i] != plain[i] {
+		if !reflect.DeepEqual(res[i], plain[i]) {
 			t.Errorf("point %d diverged under checkpointing", i)
 		}
 	}
@@ -350,7 +351,7 @@ func TestCheckpointSweepResume(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res[0] != cold[0] {
+	if !reflect.DeepEqual(res[0], cold[0]) {
 		t.Errorf("resumed point diverged from cold run")
 	}
 	if st := r.Stats(); st.SimRuns != 1 {
@@ -383,7 +384,7 @@ func TestCheckpointCorruptFallsBackCold(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res[0] != cold[0] {
+	if !reflect.DeepEqual(res[0], cold[0]) {
 		t.Errorf("cold fallback diverged")
 	}
 	if st := r.Stats(); st.SimRuns != 2 {
@@ -459,7 +460,7 @@ func TestMemoStoreRoundTrip(t *testing.T) {
 			st.StoreHits, st.CacheHits, len(specs)-1)
 	}
 	for i := range got {
-		if got[i] != want[i] {
+		if !reflect.DeepEqual(got[i], want[i]) {
 			t.Errorf("point %d diverged through the store:\n got %+v\nwant %+v", i, got[i], want[i])
 		}
 	}

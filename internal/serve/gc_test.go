@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"sdpcm/internal/sim"
+)
+
+// fillStore writes n entries and spreads their mtimes one minute apart,
+// oldest first, so prune order is fully determined. Returns the keys in
+// write (= age) order.
+func fillStore(t *testing.T, s *DiskStore, n int, base time.Time) []string {
+	t.Helper()
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = "key-" + string(rune('a'+i))
+		if err := s.Store(keys[i], sim.Result{Scheme: keys[i]}); err != nil {
+			t.Fatal(err)
+		}
+		mt := base.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(s.path(keys[i]), mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return keys
+}
+
+func TestPruneMaxBytesOldestFirst(t *testing.T) {
+	s, err := OpenDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Now().Add(-time.Hour)
+	keys := fillStore(t, s, 4, base)
+	info, err := os.Stat(s.path(keys[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget for exactly two entries: the two oldest must go.
+	s.ConfigureGC(GCPolicy{MaxBytes: 2 * info.Size()})
+	removed, freed, err := s.Prune(time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 2 || freed != 2*info.Size() {
+		t.Fatalf("Prune removed %d entries / %d bytes, want 2 / %d", removed, freed, 2*info.Size())
+	}
+	for i, key := range keys {
+		_, ok := s.Load(key)
+		if wantOK := i >= 2; ok != wantOK {
+			t.Errorf("after prune, Load(%s) = %t, want %t", key, ok, wantOK)
+		}
+	}
+	if st := s.Stats(); st.Pruned != 2 {
+		t.Fatalf("Stats.Pruned = %d, want 2", st.Pruned)
+	}
+	// A second pass under the same policy is a no-op: the store already fits.
+	if removed, _, err := s.Prune(time.Now()); err != nil || removed != 0 {
+		t.Fatalf("second Prune = %d, %v; want 0, nil", removed, err)
+	}
+}
+
+func TestPruneMaxAge(t *testing.T) {
+	s, err := OpenDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Now().Add(-time.Hour)
+	keys := fillStore(t, s, 3, base)
+	// Entries sit at -60, -59 and -58 minutes; a 59m30s limit expires only
+	// the first.
+	s.ConfigureGC(GCPolicy{MaxAge: 59*time.Minute + 30*time.Second})
+	removed, _, err := s.Prune(time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 {
+		t.Fatalf("Prune removed %d entries, want 1", removed)
+	}
+	if _, ok := s.Load(keys[0]); ok {
+		t.Fatal("expired entry survived the prune")
+	}
+	if _, ok := s.Load(keys[2]); !ok {
+		t.Fatal("fresh entry was pruned")
+	}
+}
+
+func TestPruneDisabledPolicyIsNoop(t *testing.T) {
+	s, err := OpenDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := fillStore(t, s, 2, time.Now().Add(-time.Hour))
+	removed, freed, err := s.Prune(time.Now())
+	if err != nil || removed != 0 || freed != 0 {
+		t.Fatalf("Prune with zero policy = %d, %d, %v; want all zero", removed, freed, err)
+	}
+	for _, key := range keys {
+		if _, ok := s.Load(key); !ok {
+			t.Fatalf("entry %s vanished under a disabled policy", key)
+		}
+	}
+}
+
+// TestPruneSparesTempFiles: an in-flight write's temp file is never a GC
+// candidate — only published ".json" entries are.
+func TestPruneSparesTempFiles(t *testing.T) {
+	s, err := OpenDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp, err := os.CreateTemp(s.Dir(), ".entry-*.tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp.Close()
+	old := time.Now().Add(-24 * time.Hour)
+	if err := os.Chtimes(tmp.Name(), old, old); err != nil {
+		t.Fatal(err)
+	}
+	s.ConfigureGC(GCPolicy{MaxBytes: 1, MaxAge: time.Minute})
+	if _, _, err := s.Prune(time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tmp.Name()); err != nil {
+		t.Fatalf("temp file was pruned: %v", err)
+	}
+}
+
+func TestStartGCPrunesOnTimer(t *testing.T) {
+	s, err := OpenDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillStore(t, s, 2, time.Now().Add(-time.Hour))
+	s.ConfigureGC(GCPolicy{MaxAge: time.Minute})
+	stop := s.StartGC(10 * time.Millisecond)
+	defer stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Pruned < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("GC loop pruned %d entries, want 2", s.Stats().Pruned)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+}

@@ -1,0 +1,61 @@
+package serve
+
+import (
+	"flag"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateHeatmap = flag.Bool("update-heatmap", false,
+	"rewrite testdata/heatmap.golden from the current simulator")
+
+// TestHeatmapGolden pins the /heatmap endpoint byte-for-byte: a completed
+// registry experiment serves the same merged WD spatial heatmap JSON at
+// every worker count, and that JSON matches the checked-in fixture. A drift
+// here means either the simulator's disturbance behaviour or the JSON
+// rendering changed; refresh intentional changes with
+//
+//	go test ./internal/serve -run TestHeatmapGolden -update-heatmap
+func TestHeatmapGolden(t *testing.T) {
+	spec := smallSpec()
+	spec.HeatmapRegions = 8
+
+	var bodies []string
+	for _, workers := range []int{1, 4} {
+		m, ts := newTestServer(t, ManagerConfig{Workers: workers})
+		st := submit(t, ts, spec)
+		j, err := m.Get(st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitDone(t, j)
+		code, body := getBody(t, ts.URL+"/api/v1/jobs/"+st.ID+"/heatmap")
+		if code != http.StatusOK {
+			t.Fatalf("heatmap (workers=%d) -> %d %s", workers, code, body)
+		}
+		bodies = append(bodies, body)
+	}
+	if bodies[0] != bodies[1] {
+		t.Fatalf("heatmap differs across worker counts:\n%s\nvs\n%s", bodies[0], bodies[1])
+	}
+
+	const fixture = "testdata/heatmap.golden"
+	if *updateHeatmap {
+		if err := os.MkdirAll(filepath.Dir(fixture), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(fixture, []byte(bodies[0]), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(fixture)
+	if err != nil {
+		t.Fatalf("%v (generate with -update-heatmap)", err)
+	}
+	if bodies[0] != string(want) {
+		t.Fatalf("heatmap drifted from fixture:\ngot  %s\nwant %s", bodies[0], want)
+	}
+}

@@ -9,10 +9,12 @@ import (
 	"sync"
 	"time"
 
+	"sdpcm/internal/core"
 	"sdpcm/internal/experiments"
 	"sdpcm/internal/metrics"
 	"sdpcm/internal/obs"
 	"sdpcm/internal/runner"
+	"sdpcm/internal/topo"
 	"sdpcm/internal/wd"
 	"sdpcm/internal/workload"
 )
@@ -64,6 +66,10 @@ type JobSpec struct {
 	// HeatmapRegions enables the WD spatial heatmap (per bank ×
 	// line-region), served at the job's /heatmap endpoint.
 	HeatmapRegions int `json:"heatmap_regions,omitempty"`
+	// Topology, when set, runs every point of the job on the multi-module
+	// simulator described by the spec (see sim.Config.Topology). Omitted or
+	// default keeps the classic single-DIMM behaviour.
+	Topology *topo.Spec `json:"topology,omitempty"`
 }
 
 // Validate rejects a spec the run would reject anyway, so submission
@@ -74,6 +80,14 @@ func (s JobSpec) Validate() error {
 	}
 	for _, b := range s.Benchmarks {
 		if _, err := workload.ByName(b); err != nil {
+			return err
+		}
+	}
+	if !s.Topology.IsDefault() {
+		if err := s.Topology.Validate(func(name string) bool {
+			_, err := core.ByName(name, 0)
+			return err == nil
+		}); err != nil {
 			return err
 		}
 	}
@@ -94,6 +108,7 @@ func (s JobSpec) options() experiments.Options {
 		CollectMetrics: true,
 		TraceEvents:    s.TraceEvents,
 		HeatmapRegions: s.HeatmapRegions,
+		Topology:       s.Topology,
 	}
 }
 

@@ -43,6 +43,7 @@ type StoreStats struct {
 	Misses  uint64 `json:"misses"`
 	Writes  uint64 `json:"writes"`
 	Corrupt uint64 `json:"corrupt"`
+	Pruned  uint64 `json:"pruned"`
 }
 
 // DiskStore is a durable runner.MemoStore: one JSON file per simulation
@@ -54,8 +55,9 @@ type StoreStats struct {
 // goroutines and many processes sharing the directory.
 type DiskStore struct {
 	dir string
+	gc  GCPolicy
 
-	hits, misses, writes, corrupt atomic.Uint64
+	hits, misses, writes, corrupt, pruned atomic.Uint64
 }
 
 // OpenDiskStore opens (creating if needed) a result store rooted at dir.
@@ -76,6 +78,7 @@ func (s *DiskStore) Stats() StoreStats {
 		Misses:  s.misses.Load(),
 		Writes:  s.writes.Load(),
 		Corrupt: s.corrupt.Load(),
+		Pruned:  s.pruned.Load(),
 	}
 }
 

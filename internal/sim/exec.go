@@ -228,7 +228,7 @@ func (w *shardWorker) loop(p *bankPlane, wg *sync.WaitGroup) {
 }
 
 func (e *shardExec) shardFor(a pcm.LineAddr) *shardWorker {
-	return e.shards[bankOf(a)%len(e.shards)]
+	return e.shards[e.p.bankOf(a)%len(e.shards)]
 }
 
 // flush publishes a shard's pending ops and hands the orchestrator a fresh

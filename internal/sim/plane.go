@@ -23,28 +23,39 @@ import (
 // adjacent rows within one bank (rows r±1 of the same bank), so per-bank
 // state machines fed the same per-bank op sequences produce identical state
 // regardless of how banks are grouped onto goroutines. Aggregate results are
-// folded in fixed bank order 0..NumBanks-1.
+// folded in fixed bank order 0..Banks-1. One plane covers one module; a
+// multi-module topology builds one plane per module over that module's
+// device geometry.
 type bankPlane struct {
 	dev   *pcm.Device
-	ctrls [pcm.NumBanks]*mc.Controller
-	regs  [pcm.NumBanks]*metrics.Registry // nil when collection is off
-	hm    *wd.Heatmap                     // nil when disabled; shared, bank-disjoint cells
+	geo   pcm.Geometry
+	ctrls []*mc.Controller
+	regs  []*metrics.Registry // nil entries when collection is off
+	hm    *wd.Heatmap         // nil when disabled; shared, bank-disjoint cells
 
 	traceCap int
 }
 
-// newBankPlane builds the per-bank controllers. bankRngs must hold one
-// labeled stream per bank (root "mc" → "bank-<b>"); resolve supplies each
+// newBankPlane builds the per-bank controllers over the device's bank
+// geometry. mcCfg produces a fresh controller configuration per bank (policy
+// values are stateful and must not be shared); bankRngs must hold one labeled
+// stream per bank (module root "mc" → "bank-<b>"); resolve supplies each
 // bank's RegionResolver — the live allocator for single-goroutine execution,
 // a versioned tag mirror for shard goroutines.
-func newBankPlane(cfg Config, dev *pcm.Device, resolve func(bank int) mc.RegionResolver, bankRngs []*rng.Rand) (*bankPlane, error) {
-	p := &bankPlane{dev: dev, traceCap: cfg.TraceEvents}
+func newBankPlane(cfg Config, dev *pcm.Device, mcCfg func() mc.Config, resolve func(bank int) mc.RegionResolver, bankRngs []*rng.Rand) (*bankPlane, error) {
+	p := &bankPlane{
+		dev:      dev,
+		geo:      dev.Geometry(),
+		ctrls:    make([]*mc.Controller, dev.Banks()),
+		regs:     make([]*metrics.Registry, dev.Banks()),
+		traceCap: cfg.TraceEvents,
+	}
 	if cfg.HeatmapRegions > 0 {
-		p.hm = wd.NewHeatmap(cfg.HeatmapRegions, dev.RowsPerBank)
+		p.hm = wd.NewHeatmapGeo(cfg.HeatmapRegions, dev.RowsPerBank, dev.Geometry())
 	}
 	collect := cfg.CollectMetrics || cfg.TraceEvents > 0 || cfg.SnapshotInterval > 0
 	for b := range p.ctrls {
-		ctrl, err := mc.New(cfg.Scheme.MCConfig(cfg.WriteQueueCap), dev, resolve(b), bankRngs[b])
+		ctrl, err := mc.New(mcCfg(), dev, resolve(b), bankRngs[b])
 		if err != nil {
 			return nil, err
 		}
@@ -62,11 +73,12 @@ func newBankPlane(cfg Config, dev *pcm.Device, resolve func(bank int) mc.RegionR
 	return p, nil
 }
 
-// bankOf returns the bank a line address belongs to.
-func bankOf(a pcm.LineAddr) int { return pcm.Locate(a).Bank }
+// bankOf returns the bank a line address belongs to under the plane's
+// geometry.
+func (p *bankPlane) bankOf(a pcm.LineAddr) int { return p.geo.Locate(a).Bank }
 
 // ctrlFor returns the controller owning a line address.
-func (p *bankPlane) ctrlFor(a pcm.LineAddr) *mc.Controller { return p.ctrls[bankOf(a)] }
+func (p *bankPlane) ctrlFor(a pcm.LineAddr) *mc.Controller { return p.ctrls[p.bankOf(a)] }
 
 // collecting reports whether metric registries are attached.
 func (p *bankPlane) collecting() bool { return p.regs[0] != nil }
@@ -151,6 +163,7 @@ func (p *bankPlane) flushAll(now uint64) uint64 {
 // live allocator would have been consulted on one goroutine.
 type tagMirror struct {
 	regionPages int
+	stripPages  int
 	strips      int
 	owner       map[int]alloc.Tag
 }
@@ -158,6 +171,7 @@ type tagMirror struct {
 func newTagMirror(a *alloc.Allocator) *tagMirror {
 	return &tagMirror{
 		regionPages: a.RegionPages(),
+		stripPages:  a.StripPages(),
 		strips:      a.StripsPerRegion(),
 		owner:       make(map[int]alloc.Tag),
 	}
@@ -171,7 +185,7 @@ func (m *tagMirror) RegionTag(p pcm.PageAddr) alloc.Tag {
 }
 
 func (m *tagMirror) StripIndexInRegion(p pcm.PageAddr) int {
-	return (int(p) % m.regionPages) / alloc.StripPages
+	return (int(p) % m.regionPages) / m.stripPages
 }
 
 func (m *tagMirror) StripsPerRegion() int { return m.strips }

@@ -23,6 +23,7 @@ import (
 	"sdpcm/internal/metrics"
 	"sdpcm/internal/pcm"
 	"sdpcm/internal/rng"
+	"sdpcm/internal/topo"
 	"sdpcm/internal/trace"
 	"sdpcm/internal/vm"
 	"sdpcm/internal/wd"
@@ -47,6 +48,13 @@ type Config struct {
 	// RefsPerCore is the number of main-memory references each core
 	// replays (the paper uses 10M; benches use less, shape-preserving).
 	RefsPerCore int
+	// Topology, when set to a non-default spec, runs the multi-module
+	// simulator: each module gets its own device, allocator, per-bank
+	// controllers and labeled RNG subtree, cores are assigned to modules
+	// round-robin, and per-module link latency is charged on every request
+	// and response. Nil (or topo.Default()) selects the classic
+	// single-DIMM path with byte-identical results to earlier versions.
+	Topology *topo.Spec
 	// MemPages is the device size in pages (default 2^21 = 8 GB).
 	MemPages int
 	// RegionPages is the (n:m) marking-region span (default 16384 pages =
@@ -173,8 +181,14 @@ type Result struct {
 
 	// Heatmap is the WD spatial accumulation (Config.HeatmapRegions > 0):
 	// per bank × line-region injected flips, parked errors and cascade
-	// activity. Nil when disabled.
+	// activity. Nil when disabled. Under a multi-module topology the
+	// per-module heatmaps are stacked bank-major in module order (Banks is
+	// the sum over modules).
 	Heatmap *wd.HeatmapSnapshot
+
+	// Modules holds the per-module breakdown of a multi-module topology
+	// run, in module order. Empty on the classic single-DIMM path.
+	Modules []ModuleResult `json:",omitempty"`
 }
 
 // CorrectionsPerWrite is the Figure 12 metric.
@@ -236,9 +250,11 @@ type mutator interface {
 	DrawMutation() workload.Mutation
 }
 
-// corePending is the per-core event state.
+// corePending is the per-core event state. mod is the owning module index of
+// a multi-module run (always 0 on the classic path).
 type corePending struct {
 	id     int
+	mod    int
 	time   uint64
 	stream trace.Stream
 	mut    mutator
@@ -269,6 +285,9 @@ func Run(cfg Config) (Result, error) {
 	cfg = cfg.normalized()
 	if err := cfg.Scheme.Validate(); err != nil {
 		return Result{}, err
+	}
+	if !cfg.Topology.IsDefault() {
+		return runMulti(cfg)
 	}
 	root := rng.New(cfg.Seed)
 
@@ -302,7 +321,7 @@ func Run(cfg Config) (Result, error) {
 		}
 		resolve = func(bank int) mc.RegionResolver { return mirrors[bank%shards] }
 	}
-	p, err := newBankPlane(cfg, dev, resolve, bankRngs)
+	p, err := newBankPlane(cfg, dev, func() mc.Config { return cfg.Scheme.MCConfig(cfg.WriteQueueCap) }, resolve, bankRngs)
 	if err != nil {
 		return Result{}, err
 	}

@@ -141,7 +141,7 @@ func NewAddressSpace(a *alloc.Allocator, tag alloc.Tag, chunkPages int) (*Addres
 		return nil, fmt.Errorf("vm: invalid tag %v", tag)
 	}
 	if chunkPages <= 0 {
-		chunkPages = alloc.StripPages
+		chunkPages = a.StripPages()
 	}
 	tlb, err := NewTLB(64, 4)
 	if err != nil {

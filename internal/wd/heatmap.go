@@ -49,12 +49,21 @@ func (c *HeatCell) add(o HeatCell) {
 type Heatmap struct {
 	regions     int
 	rowsPerBank int
+	banks       int
+	geo         pcm.Geometry
 	cells       []HeatCell // bank-major: cells[bank*regions+region]
 }
 
-// NewHeatmap builds a heatmap with the given regions per bank. Returns nil
-// (the disabled form) when regions or rowsPerBank is not positive.
+// NewHeatmap builds a heatmap with the given regions per bank over the
+// default 16-bank DIMM layout. Returns nil (the disabled form) when regions
+// or rowsPerBank is not positive.
 func NewHeatmap(regions, rowsPerBank int) *Heatmap {
+	return NewHeatmapGeo(regions, rowsPerBank, pcm.DefaultGeometry)
+}
+
+// NewHeatmapGeo builds a heatmap over an explicit bank layout (per-module
+// heatmaps of a multi-module topology).
+func NewHeatmapGeo(regions, rowsPerBank int, geo pcm.Geometry) *Heatmap {
 	if regions <= 0 || rowsPerBank <= 0 {
 		return nil
 	}
@@ -64,13 +73,15 @@ func NewHeatmap(regions, rowsPerBank int) *Heatmap {
 	return &Heatmap{
 		regions:     regions,
 		rowsPerBank: rowsPerBank,
-		cells:       make([]HeatCell, pcm.NumBanks*regions),
+		banks:       geo.Banks(),
+		geo:         geo,
+		cells:       make([]HeatCell, geo.Banks()*regions),
 	}
 }
 
 // cell locates the accumulation bucket for a line address.
 func (h *Heatmap) cell(a pcm.LineAddr) *HeatCell {
-	loc := pcm.Locate(a)
+	loc := h.geo.Locate(a)
 	region := loc.Row * h.regions / h.rowsPerBank
 	if region >= h.regions { // row beyond the sized device; clamp
 		region = h.regions - 1
@@ -115,11 +126,11 @@ func (h *Heatmap) Snapshot() *HeatmapSnapshot {
 		return nil
 	}
 	s := &HeatmapSnapshot{
-		Banks:   pcm.NumBanks,
+		Banks:   h.banks,
 		Regions: h.regions,
-		Cells:   make([][]HeatCell, pcm.NumBanks),
+		Cells:   make([][]HeatCell, h.banks),
 	}
-	for b := 0; b < pcm.NumBanks; b++ {
+	for b := 0; b < h.banks; b++ {
 		s.Cells[b] = append([]HeatCell(nil), h.cells[b*h.regions:(b+1)*h.regions]...)
 	}
 	return s

@@ -179,7 +179,7 @@ func (e *Engine) OnWrite(dev *pcm.Device, a pcm.LineAddr, old, new pcm.Line, res
 
 	// --- 3. Bit-line WD on vertically adjacent lines. ---
 	if e.Rates.BitLine > 0 {
-		above, below, okA, okB := pcm.AdjacentLines(a, dev.RowsPerBank)
+		above, below, okA, okB := dev.Geometry().AdjacentLines(a, dev.RowsPerBank)
 		if okA {
 			out.Above, out.AboveCount = e.bitLineFlips(dev, above, finalReset)
 		}

@@ -24,12 +24,27 @@ import (
 // forbiddenImports maps a package directory to import prefixes its non-test
 // files must not pull in. Arrows point up the stack only:
 //
-//	cmd, facade → serve → experiments, runner, obs → sim → core, imdb → mc → device models
+//	cmd, facade → serve → experiments, runner, obs → sim → core, imdb, topo → mc → device models
 var forbiddenImports = map[string][]string{
+	// The topology layer is a pure description: it names modules, schemes and
+	// geometry as data, and must never reach into the machinery that
+	// interprets it — not the simulator, not the scheme registry (scheme names
+	// stay strings, resolved by the consumer), not the harness.
+	"internal/topo": {
+		"sdpcm/internal/core",
+		"sdpcm/internal/mc",
+		"sdpcm/internal/sim",
+		"sdpcm/internal/experiments",
+		"sdpcm/internal/runner",
+		"sdpcm/internal/obs",
+		"sdpcm/internal/serve",
+		"sdpcm/internal/imdb",
+	},
 	// The controller core is beneath the scheme/sim/harness layers; a policy
 	// interface that imported its own assembler would be circular by design.
 	"internal/mc": {
 		"sdpcm/internal/core",
+		"sdpcm/internal/topo",
 		"sdpcm/internal/sim",
 		"sdpcm/internal/experiments",
 		"sdpcm/internal/runner",
@@ -41,6 +56,7 @@ var forbiddenImports = map[string][]string{
 	// who runs them, nor on any plugin (plugins import core, never the
 	// reverse — that is what keeps the registry open).
 	"internal/core": {
+		"sdpcm/internal/topo",
 		"sdpcm/internal/sim",
 		"sdpcm/internal/experiments",
 		"sdpcm/internal/runner",
@@ -50,6 +66,7 @@ var forbiddenImports = map[string][]string{
 	},
 	// A plugin sits beside core: it may use mc and core, not the harness.
 	"internal/imdb": {
+		"sdpcm/internal/topo",
 		"sdpcm/internal/sim",
 		"sdpcm/internal/experiments",
 		"sdpcm/internal/runner",

@@ -16,7 +16,7 @@ cd "$(dirname "$0")/.."
 mode="${1:---check}"
 
 GOLDEN_FLAGS=(-refs 2000 -cores 4 -benchmarks gemsFDTD,lbm,mcf -mem-mb 128 -region-pages 256 -seed 42)
-EXPS=(table1 capacity fig4 fig5 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 overhead)
+EXPS=(table1 capacity fig4 fig5 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 overhead fig-topo2)
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
