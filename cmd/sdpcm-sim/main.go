@@ -24,14 +24,22 @@ import (
 	"sdpcm/internal/topo"
 )
 
+// maxShardsFlag bounds what -shards accepts: anything beyond the bank count
+// is already clamped by the simulator, but values this far out are always a
+// typo and deserve a usage error rather than a silent clamp.
+const maxShardsFlag = 1024
+
 // resolveShards maps the -shards flag to a concrete shard count: 0 picks
 // min(banks, GOMAXPROCS) — no point spawning more workers than cores or more
 // shards than banks. Results are byte-identical at every value.
-func resolveShards(n int) int {
-	if n == 0 {
-		return min(pcm.NumBanks, runtime.GOMAXPROCS(0))
+func resolveShards(n int) (int, error) {
+	if n < 0 || n > maxShardsFlag {
+		return 0, fmt.Errorf("-shards %d out of range (usage: -shards 0..%d, 0 = min(banks, GOMAXPROCS))", n, maxShardsFlag)
 	}
-	return n
+	if n == 0 {
+		return min(pcm.NumBanks, runtime.GOMAXPROCS(0)), nil
+	}
+	return n, nil
 }
 
 func main() { os.Exit(run()) }
@@ -49,6 +57,7 @@ func run() int {
 		queue     = flag.Int("queue", 32, "write queue entries per bank")
 		seed      = flag.Uint64("seed", 42, "random seed")
 		shards    = flag.Int("shards", 0, "bank-shard worker goroutines per run (0 = min(banks, GOMAXPROCS), 1 = single-goroutine; results are byte-identical)")
+		batchWin  = flag.Int("batch-window", 0, "cap the sharded executor's adaptive batch window in ops (0 = default; tuning only, results unchanged)")
 		topoFile  = flag.String("topology", "", "JSON topology spec file: run on the multi-module memory it describes instead of the single default DIMM (see DESIGN.md §9)")
 		noBase    = flag.Bool("no-baseline", false, "skip the baseline comparison run")
 		traces    = flag.String("trace", "", "comma-separated trace files to replay (one per core) instead of -bench")
@@ -105,6 +114,15 @@ func run() int {
 	if *perfOut != "" && *trEv <= 0 {
 		*trEv = 65536 // the timeline needs events; keep a generous tail
 	}
+	nshards, err := resolveShards(*shards)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sdpcm-sim: %v\n", err)
+		return 2
+	}
+	if *batchWin < 0 {
+		fmt.Fprintf(os.Stderr, "sdpcm-sim: -batch-window %d out of range (usage: -batch-window N, N >= 0)\n", *batchWin)
+		return 2
+	}
 	cfg := sdpcm.SimConfig{
 		Scheme:         s,
 		Mix:            sdpcm.HomogeneousMix(*bench, *cores),
@@ -113,7 +131,8 @@ func run() int {
 		MemPages:       1 << 17,
 		RegionPages:    1024,
 		Seed:           *seed,
-		Shards:         resolveShards(*shards),
+		Shards:         nshards,
+		BatchWindow:    *batchWin,
 		CollectMetrics: *metricf != "" || *listen != "",
 		TraceEvents:    *trEv,
 	}
@@ -128,8 +147,9 @@ func run() int {
 		}
 		cfg.Topology = spec
 	}
+	var srv *sdpcm.ObsServer
 	if *listen != "" {
-		srv := sdpcm.NewObsServer()
+		srv = sdpcm.NewObsServer()
 		addr, err := srv.Start(*listen)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sdpcm-sim: %v\n", err)
@@ -178,6 +198,12 @@ func run() int {
 	}
 	logger.Info("run complete", "scheme", res.Scheme, "bench", *bench,
 		"cycles", res.Cycles, "cpi", res.CPI)
+	if srv != nil && res.ExecMetrics != nil {
+		// Mid-run snapshots stay deterministic (byte-identical at every shard
+		// count); the final served snapshot folds in the executor-behaviour
+		// counters so they reach Prometheus scrapes.
+		srv.SetSnapshot(res.Metrics.Combine(res.ExecMetrics))
+	}
 
 	fmt.Printf("scheme        %s\n", res.Scheme)
 	fmt.Printf("workload      %s x %d cores\n", res.Mix, len(cfg.Mix.Cores)+len(cfg.Streams))
@@ -237,11 +263,14 @@ func run() int {
 
 	if res.Metrics != nil && *metricf != "" {
 		fmt.Println()
+		// Executor-behaviour counters (sharded runs only) render alongside
+		// the deterministic snapshot; the events tail stays the run's own.
+		snap := res.Metrics.Combine(res.ExecMetrics)
 		var err error
 		if *metricf == "json" {
-			err = res.Metrics.WriteJSON(os.Stdout)
+			err = snap.WriteJSON(os.Stdout)
 		} else {
-			err = res.Metrics.WriteTable(os.Stdout)
+			err = snap.WriteTable(os.Stdout)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

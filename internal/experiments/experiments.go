@@ -69,6 +69,9 @@ type Options struct {
 	// it when a run is dominated by a few large points; Parallel is the
 	// better lever when a sweep has many independent points.
 	Shards int
+	// BatchWindow caps the sharded executor's adaptive batch window (0 =
+	// default; see sim.Config.BatchWindow). Tuning only — never results.
+	BatchWindow int
 	// Topology, when non-default, runs every simulation point on the
 	// multi-module simulator described by the spec (see sim.Config.Topology).
 	// Nil keeps the classic single-DIMM behaviour and cache keys.
@@ -143,6 +146,7 @@ func (o Options) base() runner.Base {
 		TraceEvents:    o.TraceEvents,
 		HeatmapRegions: o.HeatmapRegions,
 		Shards:         o.Shards,
+		BatchWindow:    o.BatchWindow,
 		Topology:       o.Topology,
 	}
 }

@@ -150,7 +150,7 @@ func newModuleRun(cfg Config, i int, pl topo.Placement, sub *rng.Rand) (*moduleR
 		return nil, fmt.Errorf("sim: module %s: %w", pl.Name, err)
 	}
 	if shards > 1 {
-		se := newShardExec(m.p, m.mirrors, cfg.CheckIntegrity)
+		se := newShardExec(m.p, m.mirrors, cfg)
 		allocator.OnOwnerChange = se.ownerChange
 		m.exec = se
 	} else {
@@ -295,11 +295,17 @@ func runMulti(cfg Config) (Result, error) {
 		}
 		c.time += uint64(rec.Gap)
 		c.instrs += uint64(rec.Gap) + 1
+		m := mods[c.mod]
+		if rec.Kind == trace.Read {
+			// Lookahead: this module is about to field a blocking read;
+			// publish its in-flight batches so workers drain backlog while
+			// translation resolves the bank.
+			m.exec.hintRead()
+		}
 		addr, err := translate(c, rec, false)
 		if err != nil {
 			return Result{}, fmt.Errorf("core %d: %w", c.id, err)
 		}
-		m := mods[c.mod]
 		if rec.Kind == trace.Read {
 			// The request crosses the link before the module sees it and
 			// the data crosses back: both legs charge the module's link
@@ -338,6 +344,11 @@ func runMulti(cfg Config) (Result, error) {
 	}
 	for _, m := range mods {
 		m.exec.close()
+		if se, ok := m.exec.(*shardExec); ok {
+			if sm := se.execMetrics(); sm != nil {
+				res.ExecMetrics = res.ExecMetrics.Merge(sm)
+			}
+		}
 	}
 
 	var maxEnd uint64

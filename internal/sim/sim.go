@@ -71,6 +71,14 @@ type Config struct {
 	// across every shard count and GOMAXPROCS: sharding changes wall-clock
 	// speed, never simulated behavior.
 	Shards int
+	// BatchWindow caps the sharded executor's adaptive batch window: the
+	// number of ops a shard accumulates before a publication when no demand
+	// read is pending (the window starts small and doubles up to this cap,
+	// resetting on every read). 0 selects the default (256); values are
+	// clamped to the ring's safe ceiling. Like Shards it can change
+	// wall-clock speed only, never simulated behavior, so it is excluded
+	// from result caching and checkpoint identity.
+	BatchWindow int
 	// Seed drives every stochastic element of the run.
 	Seed uint64
 	// CoreTags overrides the allocator tag per core (§4.4's usage model:
@@ -189,6 +197,16 @@ type Result struct {
 	// Modules holds the per-module breakdown of a multi-module topology
 	// run, in module order. Empty on the classic single-DIMM path.
 	Modules []ModuleResult `json:",omitempty"`
+
+	// ExecMetrics is the sharded executor's behaviour snapshot: batch
+	// publication counts and occupancy, ring stalls, worker parks,
+	// steal-on-read and rendezvous tallies. Unlike Metrics it is
+	// timing-dependent — scheduling, GOMAXPROCS and host load all move it —
+	// so it is deliberately excluded from the determinism contract, from
+	// serialized Results and from checkpoints. Nil on the inline path or
+	// when metrics collection is off. Under a multi-module topology the
+	// per-module executors' snapshots are merged.
+	ExecMetrics *metrics.Snapshot `json:"-"`
 }
 
 // CorrectionsPerWrite is the Figure 12 metric.
@@ -327,7 +345,7 @@ func Run(cfg Config) (Result, error) {
 	}
 	var exec bankExec
 	if shards > 1 {
-		se := newShardExec(p, mirrors, cfg.CheckIntegrity)
+		se := newShardExec(p, mirrors, cfg)
 		allocator.OnOwnerChange = se.ownerChange
 		exec = se
 	} else {
@@ -454,6 +472,12 @@ func Run(cfg Config) (Result, error) {
 		// Non-memory instructions: 1 cycle each on the in-order core.
 		c.time += uint64(rec.Gap)
 		c.instrs += uint64(rec.Gap) + 1
+		if rec.Kind == trace.Read {
+			// Lookahead: the next op is a blocking read, but which bank it
+			// hits is only known after translation. Publish in-flight batches
+			// now so workers drain backlog while the TLB/page tables resolve.
+			exec.hintRead()
+		}
 		logical, err := translate(c, rec, wl != nil)
 		if err != nil {
 			return Result{}, fmt.Errorf("core %d: %w", c.id, err)
@@ -502,6 +526,9 @@ func Run(cfg Config) (Result, error) {
 		}
 	}
 	exec.close()
+	if se, ok := exec.(*shardExec); ok {
+		res.ExecMetrics = se.execMetrics()
+	}
 
 	var maxEnd uint64
 	var cpiSum float64

@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	benchgate -emit bench.txt > BENCH_6.json
-//	benchgate -gate -old main.json -new BENCH_6.json -threshold 10
+//	benchgate -emit bench.txt > BENCH_10.json
+//	benchgate -gate -old main.json -new BENCH_10.json -threshold 10
 //
 // Emit mode aggregates repeated runs (-count N) of each benchmark into the
 // median of every published metric, so one noisy run does not skew the
@@ -14,6 +14,17 @@
 // reported but never fail the gate. The CI job pairs this hard gate with an
 // informational benchstat diff — see DESIGN.md ("Data plane & memory
 // layout") for how to read the two together.
+//
+// Speedup mode gates the sharded executor's scaling claim on a live record:
+//
+//	benchgate -speedup -new BENCH_10.json -base BenchmarkSimRunSharded/1 -min 2.0
+//
+// It reads the median ns/op of every BenchmarkSimRunSharded/<n> variant,
+// reports each variant's speedup over the -base (inline) run, and fails
+// unless the best variant reaches -min. With -worst the gate flips to the
+// slowest variant, turning -min into an overhead bound: single-core CI runs
+// -worst -min 0.925 to pin every sharded configuration's overhead at ~8%
+// over inline.
 package main
 
 import (
@@ -47,18 +58,38 @@ func main() {
 	var (
 		emit      = flag.Bool("emit", false, "parse `go test -bench` text (file arg or stdin) and print a JSON record")
 		gate      = flag.Bool("gate", false, "compare -new against -old and fail on ns/op regressions")
+		speedup   = flag.Bool("speedup", false, "gate the sharded-vs-inline speedup recorded in -new")
 		oldPath   = flag.String("old", "", "baseline JSON record for -gate")
-		newPath   = flag.String("new", "", "candidate JSON record for -gate")
+		newPath   = flag.String("new", "", "candidate JSON record for -gate or -speedup")
 		threshold = flag.Float64("threshold", 10, "ns/op regression percentage that fails the gate")
+		baseName  = flag.String("base", "BenchmarkSimRunSharded/1", "inline-reference benchmark for -speedup")
+		variants  = flag.String("variants", "BenchmarkSimRunSharded/", "benchmark-name prefix whose records compete for the -speedup gate")
+		minRatio  = flag.Float64("min", 2.0, "minimum gated speedup over -base that passes -speedup")
+		worst     = flag.Bool("worst", false, "gate the slowest variant instead of the fastest (overhead bound)")
 	)
 	flag.Parse()
+	nModes := 0
+	for _, m := range []bool{*emit, *gate, *speedup} {
+		if m {
+			nModes++
+		}
+	}
 	switch {
-	case *emit == *gate:
-		fmt.Fprintln(os.Stderr, "benchgate: exactly one of -emit or -gate is required")
+	case nModes != 1:
+		fmt.Fprintln(os.Stderr, "benchgate: exactly one of -emit, -gate or -speedup is required")
 		os.Exit(2)
 	case *emit:
 		if err := runEmit(flag.Arg(0)); err != nil {
 			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(1)
+		}
+	case *speedup:
+		ok, err := runSpeedup(*newPath, *baseName, *variants, *minRatio, *worst)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(1)
+		}
+		if !ok {
 			os.Exit(1)
 		}
 	default:
@@ -206,4 +237,53 @@ func runGate(oldPath, newPath string, threshold float64) (ok bool, err error) {
 		fmt.Printf("\nbenchgate: ns/op regression beyond %g%% — see rows marked FAIL\n", threshold)
 	}
 	return ok, nil
+}
+
+// runSpeedup reads one record and gates one variant's speedup over the base
+// benchmark: the fastest by default, the slowest with worst. The default
+// deliberately takes the best variant, not a fixed one — which shard count
+// wins is host-dependent (core count, SMT), while the claim under test,
+// "sharding beats inline by at least minRatio here", is not. The worst
+// flavour is for overhead bounds, where every configuration must stay close
+// to inline.
+func runSpeedup(path, base, prefix string, minRatio float64, worst bool) (bool, error) {
+	if path == "" {
+		return false, fmt.Errorf("-speedup needs -new")
+	}
+	rep, err := loadReport(path)
+	if err != nil {
+		return false, err
+	}
+	var baseNs float64
+	for _, r := range rep.Benchmarks {
+		if r.Name == base {
+			baseNs = r.NsPerOp
+		}
+	}
+	if baseNs == 0 {
+		return false, fmt.Errorf("%s: no %s record to compare against", path, base)
+	}
+	gated, gatedName, label := 0.0, "", "best"
+	if worst {
+		label = "worst"
+	}
+	for _, r := range rep.Benchmarks {
+		if r.Name == base || !strings.HasPrefix(r.Name, prefix) || r.NsPerOp == 0 {
+			continue
+		}
+		ratio := baseNs / r.NsPerOp
+		fmt.Printf("%-50s %12.1f ns/op  %.2fx vs %s\n", r.Name, r.NsPerOp, ratio, base)
+		if gatedName == "" || (worst && ratio < gated) || (!worst && ratio > gated) {
+			gated, gatedName = ratio, r.Name
+		}
+	}
+	if gatedName == "" {
+		return false, fmt.Errorf("%s: no %s* variants besides the base", path, prefix)
+	}
+	if gated < minRatio {
+		fmt.Printf("\nbenchgate: %s sharded speedup %.2fx (%s) below the %.2fx gate\n", label, gated, gatedName, minRatio)
+		return false, nil
+	}
+	fmt.Printf("\nbenchgate: speedup gate passed: %s %.2fx (%s) >= %.2fx\n", label, gated, gatedName, minRatio)
+	return true, nil
 }
